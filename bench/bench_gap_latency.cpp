@@ -1,0 +1,31 @@
+// FIG-3: NVM-only slowdown vs DRAM-only under increased NVM latency
+// (2x, 4x, 8x DRAM latency).
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tahoe;
+  Flags flags = bench::standard_flags();
+  flags.parse(argc, argv);
+  const bool csv = flags.get_bool("csv");
+
+  const std::vector<std::string> specs{"lat:2", "lat:4", "lat:8"};
+  Table table({"workload", "DRAM", "2x LAT", "4x LAT", "8x LAT"});
+  for (const std::string& name : workloads::workload_names()) {
+    std::vector<std::string> row{name, "1.00"};
+    bench::BenchConfig base = bench::config_from_flags(flags, specs[0]);
+    const core::RunReport dram =
+        bench::run_static(name, base, memsim::kDram);
+    for (const std::string& spec : specs) {
+      bench::BenchConfig config = bench::config_from_flags(flags, spec);
+      const core::RunReport nvm =
+          bench::run_static(name, config, memsim::kNvm);
+      row.push_back(Table::num(bench::normalized(nvm, dram)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(
+      "FIG-3: NVM-only performance vs latency (normalized to DRAM-only; "
+      "higher = slower)",
+      table, csv);
+  return 0;
+}

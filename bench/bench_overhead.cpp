@@ -1,0 +1,114 @@
+// MICRO: google-benchmark microbenchmarks of the runtime's own machinery —
+// the components whose cost makes up the paper's "pure runtime cost"
+// (sampling, modeling, knapsack decision, dependence derivation, queue and
+// allocator operations).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/calibration.hpp"
+#include "core/knapsack.hpp"
+#include "core/planner.hpp"
+#include "hms/arena.hpp"
+#include "memsim/fluid.hpp"
+#include "memsim/sampler.hpp"
+#include "task/graph.hpp"
+
+namespace {
+
+using namespace tahoe;
+
+void BM_KnapsackSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<core::KnapsackItem> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(core::KnapsackItem{rng.next_below(64 * kMiB) + 1,
+                                       rng.next_double()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(items, 256 * kMiB));
+  }
+}
+BENCHMARK(BM_KnapsackSolve)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SamplerSample(benchmark::State& state) {
+  memsim::Sampler sampler(1000, 2.4e9, 7);
+  memsim::ObjectTraffic t;
+  t.loads = 50'000'000;
+  t.stores = 10'000'000;
+  t.footprint = 256 * kMiB;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(t, 0.1));
+  }
+}
+BENCHMARK(BM_SamplerSample);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    task::GraphBuilder gb;
+    gb.begin_group("g");
+    for (std::size_t i = 0; i < tasks; ++i) {
+      task::Task t;
+      task::DataAccess a;
+      a.object = static_cast<hms::ObjectId>(i % 8);
+      a.mode = i % 3 == 0 ? task::AccessMode::Write : task::AccessMode::Read;
+      a.traffic.loads = 1000;
+      a.traffic.footprint = 64 * kKiB;
+      t.accesses = {a};
+      gb.add_task(std::move(t));
+    }
+    benchmark::DoNotOptimize(gb.build());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks));
+}
+BENCHMARK(BM_GraphBuild)->Arg(64)->Arg(512);
+
+void BM_FluidSimSteadyLoad(benchmark::State& state) {
+  for (auto _ : state) {
+    memsim::FluidSim sim(2);
+    for (int i = 0; i < 64; ++i) {
+      memsim::FlowSpec f;
+      f.serial_seconds = 0.001;
+      f.device_seconds = {0.001, 0.0005};
+      sim.start_flow(f);
+    }
+    while (sim.step().has_value()) {
+    }
+    benchmark::DoNotOptimize(sim.now());
+  }
+}
+BENCHMARK(BM_FluidSimSteadyLoad);
+
+void BM_ArenaAllocFree(benchmark::State& state) {
+  hms::Arena arena("bench", 256 * kMiB, hms::Backing::Virtual);
+  std::vector<void*> live;
+  live.reserve(64);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      void* p = arena.alloc(1 * kMiB);
+      if (p != nullptr) live.push_back(p);
+    }
+    for (void* p : live) arena.free(p);
+    live.clear();
+  }
+}
+BENCHMARK(BM_ArenaAllocFree);
+
+void BM_Calibration(benchmark::State& state) {
+  const memsim::Machine m = memsim::machines::platform_a(
+      memsim::devices::nvm_bw_fraction(memsim::devices::dram(256 * kMiB), 0.5,
+                                       16 * kGiB),
+      256 * kMiB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::calibrate(m));
+  }
+}
+BENCHMARK(BM_Calibration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

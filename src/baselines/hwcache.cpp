@@ -1,0 +1,39 @@
+#include "baselines/hwcache.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace tahoe::baselines {
+
+memsim::Machine memory_mode_machine(const memsim::Machine& base,
+                                    std::uint64_t footprint_bytes,
+                                    double conflict_penalty) {
+  TAHOE_REQUIRE(footprint_bytes > 0, "footprint must be positive");
+  TAHOE_REQUIRE(conflict_penalty >= 0.0 && conflict_penalty < 1.0,
+                "conflict penalty out of range");
+  memsim::Machine m = base;
+  const memsim::DeviceModel& dram = base.dram();
+  const memsim::DeviceModel& nvm = base.nvm();
+
+  const double raw_hit = std::min(
+      1.0, static_cast<double>(dram.capacity) /
+               static_cast<double>(footprint_bytes));
+  const double h = raw_hit * (1.0 - conflict_penalty);
+  const double miss = 1.0 - h;
+
+  memsim::DeviceModel eff = nvm;
+  eff.name = "MemoryMode(" + dram.name + "$" + nvm.name + ")";
+  // A hit costs DRAM latency; a miss probes DRAM and then pays NVM.
+  eff.read_lat_s = dram.read_lat_s + miss * nvm.read_lat_s;
+  eff.write_lat_s = dram.write_lat_s + miss * nvm.write_lat_s;
+  // Each byte is served either from DRAM (hit) or NVM (miss): harmonic mix.
+  eff.read_bw = 1.0 / (h / dram.read_bw + miss / nvm.read_bw);
+  eff.write_bw = 1.0 / (h / dram.write_bw + miss / nvm.write_bw);
+  eff.capacity = nvm.capacity;
+
+  m.devices[memsim::kNvm] = eff;
+  return m;
+}
+
+}  // namespace tahoe::baselines

@@ -1,0 +1,27 @@
+// Hardware DRAM-cache baseline (Optane "Memory Mode" emulation).
+//
+// In Memory Mode, DRAM is a hardware-managed direct-mapped write-back
+// cache in front of NVM and software cannot direct placement. We emulate
+// it as a derived device model: with footprint F and DRAM capacity C, the
+// steady-state DRAM hit ratio of a direct-mapped cache with uniform access
+// is approximately h = min(1, C/F) (conflict misses shave a further
+// `conflict_penalty`). Latency blends linearly (a miss probes DRAM, then
+// pays NVM); bandwidth blends harmonically (each byte is served by one of
+// the two devices). The application then runs "NVM-only" on the derived
+// device — placement is out of software's hands, exactly like the real
+// mode.
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/machine.hpp"
+
+namespace tahoe::baselines {
+
+/// Derive the Memory-Mode machine for an application footprint.
+/// The returned machine's NVM tier is the cached effective device.
+memsim::Machine memory_mode_machine(const memsim::Machine& base,
+                                    std::uint64_t footprint_bytes,
+                                    double conflict_penalty = 0.1);
+
+}  // namespace tahoe::baselines

@@ -1,0 +1,20 @@
+// Reactive page-hotness baseline (AutoNUMA/first-touch-migration style).
+//
+// Moves a data unit to DRAM *when the phase that references it starts* —
+// no lookahead, no performance model, LRU eviction. This isolates the
+// value of Tahoe's proactive, model-driven migration: the reactive policy
+// pays every copy on the critical path.
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace tahoe::baselines {
+
+class ReactiveLruPolicy : public core::Policy {
+ public:
+  std::string name() const override { return "reactive-lru"; }
+  bool needs_profiling() const override { return false; }
+  core::PlanDecision decide(const core::PlanInputs& in) override;
+};
+
+}  // namespace tahoe::baselines

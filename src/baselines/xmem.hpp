@@ -1,0 +1,25 @@
+// X-Mem-style baseline: offline-profiling-driven static placement.
+//
+// Reproduces the comparison system's behaviour as the paper describes it:
+// a PIN-based *offline* profile of the application (here: the ground-truth
+// traffic declared in the task graph — exactly what an offline
+// instrumentation pass would see), classification of each data object's
+// dominant access pattern (streaming / pointer-chasing / random), and a
+// one-shot static placement of the hottest objects into DRAM. Crucially,
+// and unlike Tahoe: no data-movement cost model, no phase awareness
+// (placement never changes at runtime), and a homogeneous access pattern
+// is assumed within each data object (whole objects only — never chunks).
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace tahoe::baselines {
+
+class XMemPolicy : public core::Policy {
+ public:
+  std::string name() const override { return "xmem"; }
+  bool needs_profiling() const override { return false; }
+  core::PlanDecision decide(const core::PlanInputs& in) override;
+};
+
+}  // namespace tahoe::baselines

@@ -1,0 +1,129 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace tahoe {
+namespace {
+
+const char* kind_name(int k) {
+  switch (k) {
+    case 0: return "int";
+    case 1: return "double";
+    case 2: return "bool";
+    case 3: return "string";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Flags::define_int(const std::string& name, std::int64_t def,
+                       const std::string& help) {
+  entries_[name] = Entry{Kind::Int, std::to_string(def), std::to_string(def), help};
+}
+
+void Flags::define_double(const std::string& name, double def,
+                          const std::string& help) {
+  std::ostringstream os;
+  os << def;
+  entries_[name] = Entry{Kind::Double, os.str(), os.str(), help};
+}
+
+void Flags::define_bool(const std::string& name, bool def,
+                        const std::string& help) {
+  const std::string v = def ? "true" : "false";
+  entries_[name] = Entry{Kind::Bool, v, v, help};
+}
+
+void Flags::define_string(const std::string& name, const std::string& def,
+                          const std::string& help) {
+  entries_[name] = Entry{Kind::String, def, def, help};
+}
+
+std::vector<std::string> Flags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = entries_.find(name);
+    TAHOE_REQUIRE(it != entries_.end(), "unknown flag --" + name);
+    Entry& e = it->second;
+    if (!has_value) {
+      if (e.kind == Kind::Bool) {
+        value = "true";
+      } else {
+        TAHOE_REQUIRE(i + 1 < argc, "flag --" + name + " needs a value");
+        value = argv[++i];
+      }
+    }
+    // Validate by round-tripping through the typed getters' parsers.
+    if (e.kind == Kind::Int) {
+      char* end = nullptr;
+      (void)std::strtoll(value.c_str(), &end, 10);
+      TAHOE_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+                    "flag --" + name + " expects an integer, got '" + value + "'");
+    } else if (e.kind == Kind::Double) {
+      char* end = nullptr;
+      (void)std::strtod(value.c_str(), &end);
+      TAHOE_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+                    "flag --" + name + " expects a number, got '" + value + "'");
+    } else if (e.kind == Kind::Bool) {
+      TAHOE_REQUIRE(value == "true" || value == "false",
+                    "flag --" + name + " expects true/false");
+    }
+    e.value = value;
+  }
+  return positional;
+}
+
+const Flags::Entry& Flags::lookup(const std::string& name, Kind kind) const {
+  auto it = entries_.find(name);
+  TAHOE_REQUIRE(it != entries_.end(), "flag --" + name + " was never defined");
+  TAHOE_REQUIRE(it->second.kind == kind,
+                "flag --" + name + " is not of type " +
+                    kind_name(static_cast<int>(kind)));
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  return std::strtoll(lookup(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name) const {
+  return std::strtod(lookup(name, Kind::Double).value.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  return lookup(name, Kind::Bool).value == "true";
+}
+
+const std::string& Flags::get_string(const std::string& name) const {
+  return lookup(name, Kind::String).value;
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, e] : entries_) {
+    os << "  --" << name << " (" << kind_name(static_cast<int>(e.kind))
+       << ", default " << e.def << "): " << e.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tahoe

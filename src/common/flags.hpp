@@ -1,0 +1,51 @@
+// Tiny command-line flag parser for the benchmark/example binaries.
+//
+// Syntax: --name=value or --name value; bare --flag sets a bool to true.
+// Unknown flags are an error so that typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tahoe {
+
+class Flags {
+ public:
+  /// Register flags with defaults before parsing.
+  void define_int(const std::string& name, std::int64_t def,
+                  const std::string& help);
+  void define_double(const std::string& name, double def,
+                     const std::string& help);
+  void define_bool(const std::string& name, bool def, const std::string& help);
+  void define_string(const std::string& name, const std::string& def,
+                     const std::string& help);
+
+  /// Parse argv. Throws ContractError on unknown flags or bad values.
+  /// Returns positional (non-flag) arguments.
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Render a usage string from the registered flags.
+  std::string usage(const std::string& program) const;
+
+ private:
+  enum class Kind { Int, Double, Bool, String };
+  struct Entry {
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string def;
+    std::string help;
+  };
+
+  const Entry& lookup(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace tahoe

@@ -1,0 +1,46 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tahoe::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_emit_mutex;
+
+}  // namespace
+
+LogLevel level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_level(LogLevel lvl) noexcept {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+const char* level_name(LogLevel lvl) noexcept {
+  switch (lvl) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void emit(LogLevel lvl, const char* file, int line, const std::string& msg) {
+  // Strip directories from __FILE__ for readable output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s:%d %s\n", level_name(lvl), base, line,
+               msg.c_str());
+}
+
+}  // namespace tahoe::log

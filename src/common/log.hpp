@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// The runtime's own overhead is one of the measured quantities, so logging
+// defaults to Warn and formats lazily: the ostringstream is only built when
+// the level is enabled. Thread-safe via a single mutex on the (rare) emit
+// path.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tahoe {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+namespace log {
+
+/// Globally enabled level. Not atomic-fancy: set once at startup.
+LogLevel level() noexcept;
+void set_level(LogLevel lvl) noexcept;
+
+/// Emit a formatted line (internal; use the macros below).
+void emit(LogLevel lvl, const char* file, int line, const std::string& msg);
+
+const char* level_name(LogLevel lvl) noexcept;
+
+}  // namespace log
+}  // namespace tahoe
+
+#define TAHOE_LOG(lvl, streamed)                                       \
+  do {                                                                 \
+    if (static_cast<int>(lvl) >= static_cast<int>(::tahoe::log::level())) { \
+      std::ostringstream tahoe_log_os;                                 \
+      tahoe_log_os << streamed;                                        \
+      ::tahoe::log::emit((lvl), __FILE__, __LINE__, tahoe_log_os.str()); \
+    }                                                                  \
+  } while (false)
+
+#define TAHOE_TRACE(s) TAHOE_LOG(::tahoe::LogLevel::Trace, s)
+#define TAHOE_DEBUG(s) TAHOE_LOG(::tahoe::LogLevel::Debug, s)
+#define TAHOE_INFO(s) TAHOE_LOG(::tahoe::LogLevel::Info, s)
+#define TAHOE_WARN(s) TAHOE_LOG(::tahoe::LogLevel::Warn, s)
+#define TAHOE_ERROR(s) TAHOE_LOG(::tahoe::LogLevel::Error, s)

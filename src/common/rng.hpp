@@ -1,0 +1,122 @@
+// Deterministic random number generation.
+//
+// The whole reproduction must be bit-reproducible across runs, so every
+// stochastic component (sampling emulation, synthetic workload generation,
+// property-test case generation) draws from an explicitly seeded xoshiro256**
+// stream. std::mt19937 is avoided because its distributions are not
+// guaranteed identical across standard library implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace tahoe {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    TAHOE_REQUIRE(bound > 0, "next_below bound must be positive");
+    // 128-bit multiply-shift; rejection keeps the distribution exact.
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    TAHOE_REQUIRE(lo <= hi, "next_in requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Deterministic Binomial(n, p) sample.
+  ///
+  /// Used by the PEBS-like sampling emulator: with n true memory accesses
+  /// and sampling probability p = 1/interval, the number of collected
+  /// samples is Binomial(n, p). For the large-n regimes the simulator
+  /// operates in, a Gaussian approximation with continuity clamp is both
+  /// accurate and O(1); tiny n falls back to exact Bernoulli summation.
+  std::uint64_t binomial(std::uint64_t n, double p) {
+    TAHOE_REQUIRE(p >= 0.0 && p <= 1.0, "binomial p out of range");
+    if (n == 0 || p == 0.0) return 0;
+    if (p == 1.0) return n;
+    if (n <= 64) {
+      std::uint64_t hits = 0;
+      for (std::uint64_t i = 0; i < n; ++i) hits += (next_double() < p) ? 1 : 0;
+      return hits;
+    }
+    const double nd = static_cast<double>(n);
+    const double mean = nd * p;
+    const double sd = std::sqrt(nd * p * (1.0 - p));
+    const double g = gaussian();
+    double v = mean + sd * g;
+    if (v < 0.0) v = 0.0;
+    if (v > nd) v = nd;
+    return static_cast<std::uint64_t>(std::llround(v));
+  }
+
+  /// Standard normal via Box–Muller (deterministic given the stream).
+  double gaussian() {
+    // Avoid log(0) by nudging u1 away from zero.
+    const double u1 = std::fmax(next_double(), 1e-300);
+    const double u2 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.141592653589793 * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace tahoe

@@ -1,0 +1,37 @@
+// Aligned-column table printer used by the benchmark harnesses to emit the
+// paper-style tables/series. Supports plain text (aligned) and CSV output
+// so the series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tahoe {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with space-padded columns; every cell right-aligned except the
+  /// first column (row label).
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  /// Render to a string (for tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tahoe

@@ -1,0 +1,38 @@
+// Size and time unit helpers. All simulator times are double seconds; all
+// sizes are std::uint64_t bytes. Conversions live here so magic constants
+// do not spread through the code base.
+#pragma once
+
+#include <cstdint>
+
+namespace tahoe {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Cache line size assumed by the whole machine model (bytes).
+inline constexpr std::uint64_t kCacheLine = 64ULL;
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+/// Nanoseconds to seconds.
+constexpr double ns(double v) { return v * 1e-9; }
+/// Microseconds to seconds.
+constexpr double us(double v) { return v * 1e-6; }
+/// Milliseconds to seconds.
+constexpr double ms(double v) { return v * 1e-3; }
+
+/// GB/s (decimal, as device datasheets quote) to bytes per second.
+constexpr double gbps(double v) { return v * 1e9; }
+/// MB/s to bytes per second.
+constexpr double mbps(double v) { return v * 1e6; }
+
+/// Bytes to mebibytes as a double (for reporting).
+constexpr double to_mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+}  // namespace tahoe

@@ -1,0 +1,27 @@
+// Initial data placement from static (compiler-analysis style) reference
+// estimates.
+//
+// By default every object starts on NVM. With the optimization enabled,
+// the objects with the largest estimated reference counts are placed in
+// DRAM at allocation time (a knapsack over the DRAM capacity with the
+// static estimates as values), which costs nothing at runtime and reduces
+// the first-enforcement migration volume. Objects whose reference count
+// cannot be estimated statically (estimate == 0) stay on NVM, as in the
+// paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "hms/placement.hpp"
+
+namespace tahoe::core {
+
+/// Unit-level DRAM choice: returns the (object, chunk) units to place in
+/// DRAM at allocation time. Chunked objects distribute the object estimate
+/// over chunks proportionally to chunk size.
+std::vector<UnitKey> choose_initial_dram(const std::vector<ObjectInfo>& objects,
+                                         std::uint64_t dram_capacity);
+
+}  // namespace tahoe::core

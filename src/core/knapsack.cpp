@@ -1,0 +1,137 @@
+#include "core/knapsack.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace tahoe::core {
+namespace {
+
+std::uint64_t granules_for(std::uint64_t size, std::uint64_t granule) {
+  return (size + granule - 1) / granule;
+}
+
+void finalize(KnapsackResult& r, std::span<const KnapsackItem> items) {
+  std::sort(r.chosen.begin(), r.chosen.end());
+  r.total_value = 0.0;
+  r.total_size = 0;
+  for (std::size_t i : r.chosen) {
+    r.total_value += items[i].value;
+    r.total_size += items[i].size;
+  }
+}
+
+}  // namespace
+
+KnapsackResult solve(std::span<const KnapsackItem> items,
+                     std::uint64_t capacity, std::uint32_t grid) {
+  TAHOE_REQUIRE(grid >= 2, "grid too coarse");
+  KnapsackResult result;
+  if (capacity == 0 || items.empty()) return result;
+
+  // Candidate filtering: positive value, fits alone.
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].value > 0.0 && items[i].size <= capacity &&
+        items[i].size > 0) {
+      cand.push_back(i);
+    }
+  }
+  if (cand.empty()) return result;
+
+  const std::uint64_t granule =
+      std::max<std::uint64_t>(1, capacity / grid);
+  const auto cap_g = static_cast<std::size_t>(capacity / granule);
+
+  // dp[c] = best value using capacity c granules; keep choice bits per item
+  // row for reconstruction.
+  std::vector<double> dp(cap_g + 1, 0.0);
+  std::vector<std::vector<bool>> take(cand.size(),
+                                      std::vector<bool>(cap_g + 1, false));
+  for (std::size_t k = 0; k < cand.size(); ++k) {
+    const KnapsackItem& it = items[cand[k]];
+    const std::uint64_t need = granules_for(it.size, granule);
+    if (need > cap_g) continue;
+    for (std::size_t c = cap_g + 1; c-- > need;) {
+      const double with = dp[c - need] + it.value;
+      if (with > dp[c]) {
+        dp[c] = with;
+        take[k][c] = true;
+      }
+    }
+  }
+
+  // Reconstruct.
+  std::size_t c = cap_g;
+  for (std::size_t k = cand.size(); k-- > 0;) {
+    if (take[k][c]) {
+      result.chosen.push_back(cand[k]);
+      c -= static_cast<std::size_t>(
+          granules_for(items[cand[k]].size, granule));
+    }
+  }
+  finalize(result, items);
+  TAHOE_ASSERT(result.total_size <= capacity,
+               "knapsack DP violated the capacity constraint");
+  return result;
+}
+
+KnapsackResult solve_greedy(std::span<const KnapsackItem> items,
+                            std::uint64_t capacity) {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].value > 0.0 && items[i].size > 0 &&
+        items[i].size <= capacity) {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = items[a].value / static_cast<double>(items[a].size);
+    const double db = items[b].value / static_cast<double>(items[b].size);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  KnapsackResult result;
+  std::uint64_t used = 0;
+  for (std::size_t i : order) {
+    if (used + items[i].size <= capacity) {
+      result.chosen.push_back(i);
+      used += items[i].size;
+    }
+  }
+  finalize(result, items);
+  return result;
+}
+
+KnapsackResult solve_exact(std::span<const KnapsackItem> items,
+                           std::uint64_t capacity) {
+  TAHOE_REQUIRE(items.size() <= 24, "exact solver limited to 24 items");
+  KnapsackResult best;
+  const std::uint32_t n = static_cast<std::uint32_t>(items.size());
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::uint64_t size = 0;
+    double value = 0.0;
+    bool feasible = true;
+    for (std::uint32_t i = 0; i < n && feasible; ++i) {
+      if (mask & (1u << i)) {
+        size += items[i].size;
+        value += items[i].value;
+        if (size > capacity) feasible = false;
+      }
+    }
+    if (feasible && value > best.total_value) {
+      best.chosen.clear();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) best.chosen.push_back(i);
+      }
+      best.total_value = value;
+      best.total_size = size;
+    }
+  }
+  finalize(best, items);
+  return best;
+}
+
+}  // namespace tahoe::core

@@ -1,0 +1,44 @@
+// 0/1 knapsack solvers for the data-placement decision.
+//
+// Items are data units (object chunks) with size = bytes and value = the
+// Eq. (7) weight w = BFT - COST - extra_COST; capacity is the DRAM tier
+// size. Three solvers:
+//   * solve():       scaled dynamic programming (default; pseudo-polynomial
+//                    with byte sizes quantized to a capacity grid),
+//   * solve_greedy(): value-density heuristic for very large instances,
+//   * solve_exact(): exhaustive search, used by property tests as oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tahoe::core {
+
+struct KnapsackItem {
+  std::uint64_t size = 0;
+  double value = 0.0;
+};
+
+struct KnapsackResult {
+  std::vector<std::size_t> chosen;  ///< indices into the item span, ascending
+  double total_value = 0.0;
+  std::uint64_t total_size = 0;
+};
+
+/// Scaled DP. `grid` controls quantization: sizes are rounded *up* to
+/// capacity/grid granules, so the capacity constraint is never violated
+/// (solutions can only be slightly conservative). Items with value <= 0 or
+/// size > capacity are never chosen.
+KnapsackResult solve(std::span<const KnapsackItem> items,
+                     std::uint64_t capacity, std::uint32_t grid = 2048);
+
+/// Greedy by value density (value/size), deterministic tie-breaks.
+KnapsackResult solve_greedy(std::span<const KnapsackItem> items,
+                            std::uint64_t capacity);
+
+/// Exhaustive oracle; requires items.size() <= 24.
+KnapsackResult solve_exact(std::span<const KnapsackItem> items,
+                           std::uint64_t capacity);
+
+}  // namespace tahoe::core

@@ -1,0 +1,103 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace tahoe::core {
+
+PerfModel::PerfModel(ModelConstants constants, memsim::DeviceModel dram,
+                     memsim::DeviceModel nvm, double copy_engine_bw,
+                     std::uint64_t sample_interval)
+    : constants_(constants),
+      dram_(std::move(dram)),
+      nvm_(std::move(nvm)),
+      copy_bw_(copy_engine_bw),
+      interval_(sample_interval) {
+  TAHOE_REQUIRE(copy_bw_ > 0.0, "copy bandwidth must be positive");
+  TAHOE_REQUIRE(interval_ > 0, "sample interval must be positive");
+  TAHOE_REQUIRE(constants_.t2 < constants_.t1, "thresholds must satisfy t2 < t1");
+}
+
+double PerfModel::bandwidth_estimate(const memsim::SampledCounts& s,
+                                     double phase_seconds) const {
+  if (phase_seconds <= 0.0) return 0.0;
+  const double active = s.active_fraction();
+  if (active <= 0.0) return 0.0;
+  const double accessed_bytes =
+      (s.est_loads(interval_) + s.est_stores(interval_)) *
+      static_cast<double>(kCacheLine);
+  return accessed_bytes / (active * phase_seconds);
+}
+
+Sensitivity PerfModel::classify(double bw_estimate) const {
+  TAHOE_REQUIRE(constants_.bw_peak_nvm > 0.0,
+                "classify requires a calibrated peak bandwidth");
+  const double ratio = bw_estimate / constants_.bw_peak_nvm;
+  if (ratio >= constants_.t1) return Sensitivity::Bandwidth;
+  if (ratio <= constants_.t2) return Sensitivity::Latency;
+  return Sensitivity::Mixed;
+}
+
+double PerfModel::benefit_bw(const memsim::SampledCounts& s,
+                             bool distinguish_rw) const {
+  const double line = static_cast<double>(kCacheLine);
+  const double loads = s.est_loads(interval_);
+  const double stores = s.est_stores(interval_);
+  double nvm_time = 0.0;
+  if (distinguish_rw) {
+    // Eq. (4): reads and writes charged at the NVM read/write bandwidths.
+    nvm_time = loads * line / nvm_.read_bw + stores * line / nvm_.write_bw;
+  } else {
+    // Eq. (2): a single NVM bandwidth (read) for all traffic.
+    nvm_time = (loads + stores) * line / nvm_.read_bw;
+  }
+  const double dram_time = (loads + stores) * line / dram_.read_bw;
+  return (nvm_time - dram_time) * constants_.cf_bw;
+}
+
+double PerfModel::benefit_lat(const memsim::SampledCounts& s,
+                              bool distinguish_rw) const {
+  const double loads = s.est_loads(interval_);
+  const double stores = s.est_stores(interval_);
+  double nvm_time = 0.0;
+  if (distinguish_rw) {
+    // Eq. (5).
+    nvm_time = loads * nvm_.read_lat_s + stores * nvm_.write_lat_s;
+  } else {
+    // Eq. (3).
+    nvm_time = (loads + stores) * nvm_.read_lat_s;
+  }
+  const double dram_time = (loads + stores) * dram_.read_lat_s;
+  return (nvm_time - dram_time) * constants_.cf_lat;
+}
+
+double PerfModel::benefit(const memsim::SampledCounts& s, double phase_seconds,
+                          bool distinguish_rw) const {
+  if (s.accesses() == 0) return 0.0;
+  switch (classify(bandwidth_estimate(s, phase_seconds))) {
+    case Sensitivity::Bandwidth:
+      return benefit_bw(s, distinguish_rw);
+    case Sensitivity::Latency:
+      return benefit_lat(s, distinguish_rw);
+    case Sensitivity::Mixed:
+      return std::max(benefit_bw(s, distinguish_rw),
+                      benefit_lat(s, distinguish_rw));
+  }
+  TAHOE_UNREACHABLE("bad sensitivity");
+}
+
+double PerfModel::movement_cost(std::uint64_t bytes, double overlap_window,
+                                bool to_dram) const {
+  return std::max(copy_seconds(bytes, to_dram) - overlap_window, 0.0);
+}
+
+double PerfModel::copy_seconds(std::uint64_t bytes, bool to_dram) const {
+  const double bw =
+      to_dram ? std::min({copy_bw_, nvm_.read_bw, dram_.write_bw})
+              : std::min({copy_bw_, dram_.read_bw, nvm_.write_bw});
+  return static_cast<double>(bytes) / bw;
+}
+
+}  // namespace tahoe::core

@@ -1,0 +1,77 @@
+// Lightweight performance models (Eqs. (1)–(6) of the paper line).
+//
+// Everything here consumes only (a) sampled counter data, (b) device
+// datasheet numbers, and (c) two constant factors CF_bw / CF_lat measured
+// once per machine by offline calibration (calibration.hpp). The models
+// deliberately ignore caching and overlap effects — the constant factors
+// are the paper's mechanism for absorbing that inaccuracy cheaply.
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/device.hpp"
+#include "memsim/sampler.hpp"
+
+namespace tahoe::core {
+
+struct ModelConstants {
+  double cf_bw = 1.0;       ///< bandwidth-model constant factor
+  double cf_lat = 1.0;      ///< latency-model constant factor
+  double bw_peak_nvm = 0.0; ///< measured peak NVM bandwidth (bytes/s)
+  double t1 = 0.80;         ///< >= t1 * peak  => bandwidth-sensitive
+  double t2 = 0.10;         ///< <= t2 * peak  => latency-sensitive
+};
+
+enum class Sensitivity { Bandwidth, Latency, Mixed };
+
+class PerfModel {
+ public:
+  PerfModel(ModelConstants constants, memsim::DeviceModel dram,
+            memsim::DeviceModel nvm, double copy_engine_bw,
+            std::uint64_t sample_interval);
+
+  const ModelConstants& constants() const noexcept { return constants_; }
+
+  /// Eq. (1): estimated main-memory bandwidth consumption of a data unit
+  /// during a phase of duration `phase_seconds`:
+  ///   accessed bytes / (active fraction of phase time).
+  double bandwidth_estimate(const memsim::SampledCounts& s,
+                            double phase_seconds) const;
+
+  /// Threshold classification against the measured peak NVM bandwidth.
+  Sensitivity classify(double bw_estimate) const;
+
+  /// Eq. (2)/(4): predicted per-phase benefit of moving a bandwidth-
+  /// sensitive unit from NVM to DRAM. With `distinguish_rw` the
+  /// asymmetric read/write bandwidths of NVM are modeled (Eq. (4));
+  /// without, all traffic is charged at the NVM read bandwidth (Eq. (2)).
+  double benefit_bw(const memsim::SampledCounts& s, bool distinguish_rw) const;
+
+  /// Eq. (3)/(5): latency-sensitivity analogue.
+  double benefit_lat(const memsim::SampledCounts& s,
+                     bool distinguish_rw) const;
+
+  /// Full benefit: classify by Eq. (1) and pick the matching equation;
+  /// Mixed takes max(benefit_bw, benefit_lat), per the paper.
+  double benefit(const memsim::SampledCounts& s, double phase_seconds,
+                 bool distinguish_rw) const;
+
+  /// Eq. (6): data-movement cost after subtracting the overlappable
+  /// window: max(copy_seconds - overlap_window, 0). `to_dram` selects the
+  /// direction (asymmetric NVM makes NVM-bound copies slower).
+  double movement_cost(std::uint64_t bytes, double overlap_window,
+                       bool to_dram = true) const;
+
+  /// Raw copy time: bytes over the direction's effective bandwidth —
+  /// min(copy engine, source read bandwidth, destination write bandwidth).
+  double copy_seconds(std::uint64_t bytes, bool to_dram = true) const;
+
+ private:
+  ModelConstants constants_;
+  memsim::DeviceModel dram_;
+  memsim::DeviceModel nvm_;
+  double copy_bw_;
+  std::uint64_t interval_;
+};
+
+}  // namespace tahoe::core

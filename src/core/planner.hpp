@@ -1,0 +1,75 @@
+// TahoePolicy: the paper's placement planner.
+//
+// Workflow (Section "data placement decision and enforcement" of the paper
+// line, re-targeted to task groups):
+//
+//  1. For each group, every profiled data unit gets an Eq. (7) weight
+//     w = BFT - COST - extra_COST, where BFT comes from the calibrated
+//     performance models (Eqs. (1)-(5)), COST from Eq. (6) with the
+//     overlap window derived from the task graph's last-reference
+//     analysis, and extra_COST from the evictions needed to make room.
+//  2. Per-group 0/1 knapsacks produce the *phase-local* plan; a single
+//     knapsack over per-unit benefits summed across groups produces the
+//     *cross-phase global* plan.
+//  3. The plan with the larger predicted per-iteration gain wins and is
+//     compiled into a cyclic ScheduledCopy list (with a preamble that
+//     reconciles the decision-time placement on the first enforcement
+//     iteration).
+#pragma once
+
+#include <optional>
+
+#include "core/perf_model.hpp"
+#include "core/policy.hpp"
+
+namespace tahoe::core {
+
+struct TahoeOptions {
+  /// Account for NVM read/write asymmetry (Eqs. (4)/(5)); disabling
+  /// reproduces the "w.o drw" ablation (Eqs. (2)/(3)).
+  bool distinguish_rw = true;
+  /// Force a strategy instead of letting predicted gain choose
+  /// (for the technique-contribution ablation).
+  enum class Strategy { Auto, GlobalOnly, LocalOnly };
+  Strategy strategy = Strategy::Auto;
+  /// Sensitivity thresholds (fractions of peak NVM bandwidth).
+  double t1 = 0.80;
+  double t2 = 0.10;
+  /// When false, disable lookahead: every copy triggers exactly when it is
+  /// needed, exposing the full movement cost (the proactive-migration
+  /// ablation).
+  bool proactive = true;
+};
+
+class TahoePolicy : public Policy {
+ public:
+  /// `constants` comes from offline calibration (calibrate()).
+  TahoePolicy(ModelConstants constants, TahoeOptions options = {});
+
+  std::string name() const override { return "tahoe"; }
+  bool needs_profiling() const override { return true; }
+  PlanDecision decide(const PlanInputs& in) override;
+
+ private:
+  ModelConstants constants_;
+  TahoeOptions options_;
+};
+
+/// Per-unit, per-group weight details — exposed for tests and the
+/// ablation benches.
+struct UnitWeight {
+  UnitKey unit;
+  double benefit = 0.0;
+  double cost = 0.0;
+  double extra_cost = 0.0;
+  Sensitivity sensitivity = Sensitivity::Mixed;
+  double weight() const noexcept { return benefit - cost - extra_cost; }
+};
+
+/// Compute the Eq. (7) weight table for one group given the plan state
+/// (DRAM residents before the group). Exposed for testing.
+std::vector<UnitWeight> group_weights(
+    const PlanInputs& in, const PerfModel& model, task::GroupId g,
+    const std::vector<UnitKey>& residents_before, bool distinguish_rw);
+
+}  // namespace tahoe::core

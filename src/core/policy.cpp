@@ -1,0 +1,61 @@
+#include "core/policy.hpp"
+
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace tahoe::core {
+
+std::uint64_t PlanInputs::unit_bytes(hms::ObjectId id,
+                                     std::size_t chunk) const {
+  const ObjectInfo& info = object(id);
+  TAHOE_REQUIRE(chunk < info.chunk_bytes.size(), "chunk out of range");
+  return info.chunk_bytes[chunk];
+}
+
+const ObjectInfo& PlanInputs::object(hms::ObjectId id) const {
+  for (const ObjectInfo& o : objects) {
+    if (o.id == id) return o;
+  }
+  TAHOE_UNREACHABLE("object not in plan inputs");
+}
+
+std::vector<task::ScheduledCopy> cyclic_preamble(
+    const PlanInputs& in,
+    const std::vector<std::pair<hms::ObjectId, std::size_t>>& start,
+    const std::vector<task::ScheduledCopy>& body) {
+  using Unit = std::pair<hms::ObjectId, std::size_t>;
+  std::set<Unit> possible;
+  for (const auto& [unit, dev] : in.current.entries()) {
+    if (dev == memsim::kDram) possible.insert(unit);
+  }
+  for (const task::ScheduledCopy& c : body) {
+    if (c.dst == memsim::kDram) possible.insert(Unit{c.object, c.chunk});
+  }
+  std::set<Unit> start_set(start.begin(), start.end());
+
+  // Fills trigger at iteration start but are only *needed* when the unit
+  // is first referenced — that window is what lets the helper thread hide
+  // the one-time enforcement copies behind the leading groups.
+  const auto first_reference = [&in](const Unit& u) -> task::GroupId {
+    if (in.graph == nullptr) return 0;
+    const auto refs = in.graph->groups_referencing(u.first, u.second);
+    return refs.empty() ? 0 : refs.front();
+  };
+  std::vector<task::ScheduledCopy> preamble;
+  for (const Unit& u : possible) {
+    if (!start_set.contains(u)) {
+      preamble.push_back(task::ScheduledCopy{
+          u.first, u.second, in.unit_bytes(u.first, u.second), memsim::kNvm,
+          0, 0});
+    }
+  }
+  for (const Unit& u : start_set) {
+    preamble.push_back(task::ScheduledCopy{
+        u.first, u.second, in.unit_bytes(u.first, u.second), memsim::kDram,
+        0, first_reference(u)});
+  }
+  return preamble;
+}
+
+}  // namespace tahoe::core

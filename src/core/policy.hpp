@@ -1,0 +1,76 @@
+// Placement-policy interface.
+//
+// A Policy turns what is known after the profiling iterations into a
+// *cyclic migration schedule*: the list of ScheduledCopy entries the
+// runtime re-submits every iteration of the main loop. Copies whose unit is
+// already on the destination tier are free no-ops, so a "static" plan is
+// simply a schedule whose copies all become no-ops after the first
+// enforcement iteration, while phase-local plans keep moving units within
+// every iteration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profiles.hpp"
+#include "hms/placement.hpp"
+#include "memsim/machine.hpp"
+#include "task/graph.hpp"
+#include "task/sim_executor.hpp"
+
+namespace tahoe::core {
+
+struct ObjectInfo {
+  hms::ObjectId id = hms::kInvalidObject;
+  std::string name;
+  std::vector<std::uint64_t> chunk_bytes;
+  double static_ref_estimate = 0.0;
+
+  std::uint64_t total_bytes() const noexcept {
+    std::uint64_t s = 0;
+    for (std::uint64_t b : chunk_bytes) s += b;
+    return s;
+  }
+};
+
+struct PlanInputs {
+  const task::TaskGraph* graph = nullptr;     ///< representative iteration
+  const memsim::Machine* machine = nullptr;
+  const PhaseProfiles* profiles = nullptr;    ///< null for offline policies
+  std::vector<ObjectInfo> objects;
+  hms::PlacementMap current;                  ///< placement at decision time
+
+  std::uint64_t unit_bytes(hms::ObjectId id, std::size_t chunk) const;
+  const ObjectInfo& object(hms::ObjectId id) const;
+};
+
+struct PlanDecision {
+  std::vector<task::ScheduledCopy> schedule;  ///< cyclic, per iteration
+  std::string strategy;                       ///< e.g. "global", "local"
+  double predicted_gain = 0.0;                ///< modeled seconds saved/iter
+  double decision_seconds = 0.0;              ///< measured planning cost
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual std::string name() const = 0;
+  /// Whether the runtime must run profiling iterations for this policy.
+  virtual bool needs_profiling() const { return false; }
+  virtual PlanDecision decide(const PlanInputs& in) = 0;
+};
+
+/// Build the schedule preamble that forces DRAM residency to exactly
+/// `start` at each iteration boundary: evictions (trigger/needed group 0)
+/// for every unit that could be resident but is not in `start` — i.e. the
+/// decision-time residents plus every fill target of `body` — followed by
+/// fills for `start`. All entries become free no-ops once the system
+/// reaches its steady state, but they make cyclic schedules capacity-safe
+/// regardless of the residency the previous iteration left behind.
+std::vector<task::ScheduledCopy> cyclic_preamble(
+    const PlanInputs& in,
+    const std::vector<std::pair<hms::ObjectId, std::size_t>>& start,
+    const std::vector<task::ScheduledCopy>& body);
+
+}  // namespace tahoe::core

@@ -1,0 +1,43 @@
+#include "core/profiles.hpp"
+
+#include "common/assert.hpp"
+
+namespace tahoe::core {
+
+double PhaseProfiles::group_duration(task::GroupId g) const {
+  TAHOE_REQUIRE(g < groups.size(), "group out of range");
+  if (iterations_profiled == 0) return 0.0;
+  return groups[g].duration_seconds /
+         static_cast<double>(iterations_profiled);
+}
+
+void Profiler::observe(const task::TaskGraph& graph,
+                       const task::SimReport& report) {
+  if (profiles_.groups.size() < graph.num_groups()) {
+    profiles_.groups.resize(graph.num_groups());
+  }
+  TAHOE_REQUIRE(report.task_seconds.size() == graph.num_tasks(),
+                "report does not match graph");
+
+  for (task::GroupId g = 0; g < graph.num_groups(); ++g) {
+    profiles_.groups[g].duration_seconds += report.group_seconds[g];
+  }
+
+  for (const task::Task& t : graph.tasks()) {
+    const double duration = report.task_seconds[t.id];
+    for (const task::DataAccess& a : t.accesses) {
+      const memsim::SampledCounts s = sampler_.sample(a.traffic, duration);
+      samples_taken_ += s.accesses();
+      const std::size_t chunk = (a.chunk == task::kAllChunks) ? 0 : a.chunk;
+      memsim::SampledCounts& acc =
+          profiles_.groups[t.group].units[UnitKey{a.object, chunk}];
+      acc.loads += s.loads;
+      acc.stores += s.stores;
+      acc.samples_with_access += s.samples_with_access;
+      acc.total_samples += s.total_samples;
+    }
+  }
+  ++profiles_.iterations_profiled;
+}
+
+}  // namespace tahoe::core

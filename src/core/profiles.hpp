@@ -1,0 +1,65 @@
+// Online phase profiles: what the runtime learns during the profiling
+// iterations.
+//
+// During the first iterations of the main computation loop, every task
+// execution is "observed" through the sampling-counter emulation: for each
+// (group, object-chunk) pair we accumulate sampled load/store events and
+// the sample-occupancy numbers that feed the Eq. (1) bandwidth estimator,
+// plus each group's execution time. This is the only information the
+// placement planner is allowed to use — ground truth stays inside the
+// simulator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hms/data_object.hpp"
+#include "memsim/sampler.hpp"
+#include "task/graph.hpp"
+#include "task/sim_executor.hpp"
+
+namespace tahoe::core {
+
+struct UnitKey {
+  hms::ObjectId object = hms::kInvalidObject;
+  std::size_t chunk = 0;
+
+  auto operator<=>(const UnitKey&) const = default;
+};
+
+struct GroupProfile {
+  double duration_seconds = 0.0;  ///< accumulated over profiled iterations
+  std::map<UnitKey, memsim::SampledCounts> units;
+};
+
+struct PhaseProfiles {
+  std::vector<GroupProfile> groups;
+  std::size_t iterations_profiled = 0;
+
+  /// Mean group duration per profiled iteration.
+  double group_duration(task::GroupId g) const;
+};
+
+/// Accumulates profiles across profiling iterations.
+class Profiler {
+ public:
+  explicit Profiler(memsim::Sampler sampler) : sampler_(std::move(sampler)) {}
+
+  /// Observe one executed iteration: sample every task's accesses using
+  /// the simulated task durations, and record group times.
+  void observe(const task::TaskGraph& graph, const task::SimReport& report);
+
+  const PhaseProfiles& profiles() const noexcept { return profiles_; }
+  void reset() { profiles_ = PhaseProfiles{}; }
+
+  /// Number of samples taken so far (for overhead accounting).
+  std::uint64_t samples_taken() const noexcept { return samples_taken_; }
+
+ private:
+  memsim::Sampler sampler_;
+  PhaseProfiles profiles_;
+  std::uint64_t samples_taken_ = 0;
+};
+
+}  // namespace tahoe::core

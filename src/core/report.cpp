@@ -1,0 +1,18 @@
+#include "core/report.hpp"
+
+namespace tahoe::core {
+
+double RunReport::steady_iteration_seconds(std::size_t warmup) const {
+  if (iteration_seconds.empty()) return 0.0;
+  const std::size_t skip =
+      iteration_seconds.size() > warmup ? warmup : iteration_seconds.size() - 1;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = skip; i < iteration_seconds.size(); ++i) {
+    sum += iteration_seconds[i];
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : iteration_seconds.back();
+}
+
+}  // namespace tahoe::core

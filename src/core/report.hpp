@@ -1,0 +1,49 @@
+// Run reports: everything the evaluation harness prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tahoe::core {
+
+struct RunReport {
+  std::string workload;
+  std::string policy;
+  std::string strategy;  ///< "global" / "local" / policy-specific / ""
+
+  std::vector<double> iteration_seconds;  ///< simulated makespan per iter
+  double compute_seconds = 0.0;           ///< sum of iteration makespans
+  double overhead_seconds = 0.0;          ///< profiling + decision + sync
+  double decision_seconds = 0.0;          ///< planning part of the overhead
+
+  std::uint64_t migrations = 0;     ///< copies that actually moved bytes
+  std::uint64_t bytes_moved = 0;
+  double copy_busy_seconds = 0.0;
+  double stall_seconds = 0.0;       ///< exposed (non-overlapped) copy time
+  std::size_t reprofiles = 0;       ///< adaptivity-triggered re-decisions
+
+  double total_seconds() const noexcept {
+    return compute_seconds + overhead_seconds;
+  }
+
+  /// Fraction of data movement hidden behind computation.
+  double overlap_fraction() const noexcept {
+    if (copy_busy_seconds <= 0.0) return 1.0;
+    const double overlapped = copy_busy_seconds - stall_seconds;
+    return overlapped > 0.0 ? overlapped / copy_busy_seconds : 0.0;
+  }
+
+  /// "Pure runtime cost" of the paper's Table 5: overhead relative to the
+  /// total execution time.
+  double runtime_cost_fraction() const noexcept {
+    const double total = total_seconds();
+    return total > 0.0 ? overhead_seconds / total : 0.0;
+  }
+
+  /// Mean of the steady-state iterations (skipping the first
+  /// `warmup` iterations, default 3: profiling x2 + first enforcement).
+  double steady_iteration_seconds(std::size_t warmup = 3) const;
+};
+
+}  // namespace tahoe::core

@@ -1,0 +1,286 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "core/adaptivity.hpp"
+#include "core/initial_placement.hpp"
+#include "core/profiles.hpp"
+#include "hms/migration.hpp"
+#include "task/executor.hpp"
+#include "task/sim_executor.hpp"
+
+namespace tahoe::core {
+
+std::vector<ObjectInfo> collect_objects(const hms::ObjectRegistry& registry) {
+  std::vector<ObjectInfo> out;
+  for (const hms::ObjectId id : registry.live_objects()) {
+    const hms::DataObject& obj = registry.get(id);
+    ObjectInfo info;
+    info.id = id;
+    info.name = obj.name;
+    info.static_ref_estimate = obj.static_ref_estimate;
+    info.chunk_bytes.reserve(obj.chunks.size());
+    for (const hms::Chunk& c : obj.chunks) info.chunk_bytes.push_back(c.bytes);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
+  TAHOE_REQUIRE(config_.profile_iterations >= 1,
+                "need at least one profiling iteration");
+  TAHOE_REQUIRE(config_.machine.devices.size() >= 2,
+                "machine must have DRAM and NVM tiers");
+}
+
+Runtime::AppState Runtime::prepare(Application& app, bool huge_tiers) {
+  const memsim::Machine& m = config_.machine;
+  std::vector<std::uint64_t> caps;
+  caps.reserve(m.devices.size());
+  for (const memsim::DeviceModel& d : m.devices) caps.push_back(d.capacity);
+  if (huge_tiers) {
+    // Static baselines: the pinned tier must hold the full footprint.
+    const std::uint64_t big =
+        *std::max_element(caps.begin(), caps.end());
+    for (std::uint64_t& c : caps) c = big;
+  }
+
+  AppState state;
+  state.registry = std::make_unique<hms::ObjectRegistry>(caps, config_.backing);
+  hms::ChunkingPolicy chunking;
+  chunking.dram_capacity = config_.chunking ? m.dram().capacity : 0;
+  app.setup(*state.registry, chunking);
+  TAHOE_REQUIRE(state.registry->num_objects() > 0,
+                "application allocated no data objects");
+  state.objects = collect_objects(*state.registry);
+  for (const ObjectInfo& o : state.objects) {
+    for (std::size_t c = 0; c < o.chunk_bytes.size(); ++c) {
+      state.placement.set(o.id, c, memsim::kNvm);
+    }
+  }
+  return state;
+}
+
+RunReport Runtime::run(Application& app, Policy& policy) {
+  const memsim::Machine& machine = config_.machine;
+  AppState state = prepare(app, /*huge_tiers=*/false);
+
+  RunReport report;
+  report.workload = app.name();
+  report.policy = policy.name();
+
+  // Initial placement: free at allocation time.
+  if (config_.initial_placement) {
+    for (const UnitKey& u :
+         choose_initial_dram(state.objects, machine.dram().capacity)) {
+      state.placement.set(u.object, u.chunk, memsim::kDram);
+    }
+  }
+
+  Profiler profiler(memsim::Sampler(machine.sample_interval, machine.cpu_hz,
+                                    machine.seed));
+  AdaptiveMonitor monitor(config_.adapt_threshold);
+  std::vector<task::ScheduledCopy> schedule;
+  std::string strategy;
+  std::size_t profiling_left =
+      policy.needs_profiling() ? config_.profile_iterations : 0;
+  bool decided = false;
+  std::size_t enforced_since_decision = 0;
+
+  task::SimExecutor executor;
+  task::SimExecutor::Options opts;
+  opts.unit_size = [&state](hms::ObjectId id, std::size_t chunk) {
+    return state.registry->get(id).chunks.at(chunk).bytes;
+  };
+
+  // Offline policies (no profiling) decide immediately on iteration 0's
+  // graph; handled inside the loop below.
+  const std::size_t iterations = app.iterations();
+  TAHOE_REQUIRE(iterations >= 1, "application declares no iterations");
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    task::GraphBuilder builder;
+    app.build_iteration(builder, iter);
+    const task::TaskGraph graph = builder.build();
+
+    if (!decided && profiling_left == 0) {
+      // Offline policy: decide on the first iteration's graph.
+      PlanInputs inputs;
+      inputs.graph = &graph;
+      inputs.machine = &machine;
+      inputs.profiles = nullptr;
+      inputs.objects = state.objects;
+      inputs.current = state.placement;
+      PlanDecision decision = policy.decide(inputs);
+      schedule = std::move(decision.schedule);
+      strategy = decision.strategy;
+      report.decision_seconds += decision.decision_seconds;
+      report.overhead_seconds += decision.decision_seconds;
+      decided = true;
+      enforced_since_decision = 0;
+    }
+
+    const std::uint64_t samples_before = profiler.samples_taken();
+    const task::SimReport sim =
+        executor.run(graph, machine, state.placement, schedule, opts);
+    report.iteration_seconds.push_back(sim.makespan);
+    report.compute_seconds += sim.makespan;
+    report.bytes_moved += sim.bytes_copied;
+    // Count only copies that moved data (no-op copies are free).
+    report.migrations += sim.copies_done;
+    report.copy_busy_seconds += sim.copy_busy_seconds;
+    report.stall_seconds += sim.stall_seconds;
+    report.overhead_seconds +=
+        static_cast<double>(graph.num_groups()) * config_.sync_cost_seconds;
+
+    if (profiling_left > 0) {
+      profiler.observe(graph, sim);
+      report.overhead_seconds +=
+          static_cast<double>(profiler.samples_taken() - samples_before) *
+          config_.sample_cost_seconds;
+      --profiling_left;
+      if (profiling_left == 0) {
+        PlanInputs inputs;
+        inputs.graph = &graph;
+        inputs.machine = &machine;
+        inputs.profiles = &profiler.profiles();
+        inputs.objects = state.objects;
+        inputs.current = state.placement;
+        PlanDecision decision = policy.decide(inputs);
+        schedule = std::move(decision.schedule);
+        strategy = decision.strategy;
+        report.decision_seconds += decision.decision_seconds;
+        report.overhead_seconds += decision.decision_seconds;
+        decided = true;
+        enforced_since_decision = 0;
+        TAHOE_DEBUG("decision for " << app.name() << ": " << strategy
+                                    << ", " << schedule.size() << " copies");
+      }
+    } else if (decided) {
+      ++enforced_since_decision;
+      if (config_.adaptive && policy.needs_profiling()) {
+        if (enforced_since_decision == 2) {
+          // The first enforced iteration pays one-time migrations; the
+          // second is the steady-state baseline.
+          monitor.set_baseline(sim.group_seconds);
+        } else if (enforced_since_decision > 2 && monitor.has_baseline() &&
+                   monitor.deviates(sim.group_seconds)) {
+          ++report.reprofiles;
+          profiler.reset();
+          profiling_left = config_.profile_iterations;
+          decided = false;
+          TAHOE_DEBUG("workload variation detected at iteration "
+                      << iter << "; re-profiling");
+        }
+      }
+    }
+  }
+
+  report.strategy = strategy;
+  return report;
+}
+
+RunReport Runtime::run_static(Application& app, memsim::DeviceId tier) {
+  memsim::Machine machine = config_.machine;
+  TAHOE_REQUIRE(tier < machine.devices.size(), "tier out of range");
+  // Virtually enlarge the pinned tier.
+  std::uint64_t big = 0;
+  for (const memsim::DeviceModel& d : machine.devices) {
+    big = std::max(big, d.capacity);
+  }
+  machine.devices[tier].capacity = big;
+
+  AppState state = prepare(app, /*huge_tiers=*/true);
+  for (const ObjectInfo& o : state.objects) {
+    for (std::size_t c = 0; c < o.chunk_bytes.size(); ++c) {
+      state.placement.set(o.id, c, tier);
+    }
+  }
+
+  RunReport report;
+  report.workload = app.name();
+  report.policy = tier == memsim::kDram ? "dram-only" : "nvm-only";
+
+  task::SimExecutor executor;
+  task::SimExecutor::Options opts;
+  opts.check_capacity = false;  // single-tier run; nothing moves
+  for (std::size_t iter = 0; iter < app.iterations(); ++iter) {
+    task::GraphBuilder builder;
+    app.build_iteration(builder, iter);
+    const task::TaskGraph graph = builder.build();
+    const task::SimReport sim =
+        executor.run(graph, machine, state.placement, {}, opts);
+    report.iteration_seconds.push_back(sim.makespan);
+    report.compute_seconds += sim.makespan;
+  }
+  return report;
+}
+
+RunReport Runtime::run_pinned(Application& app,
+                              const std::vector<std::string>& dram_objects) {
+  AppState state = prepare(app, /*huge_tiers=*/true);
+  std::uint64_t pinned_bytes = 0;
+  for (const ObjectInfo& o : state.objects) {
+    const bool in_dram = std::find(dram_objects.begin(), dram_objects.end(),
+                                   o.name) != dram_objects.end();
+    for (std::size_t c = 0; c < o.chunk_bytes.size(); ++c) {
+      state.placement.set(o.id, c, in_dram ? memsim::kDram : memsim::kNvm);
+    }
+    if (in_dram) pinned_bytes += o.total_bytes();
+  }
+  memsim::Machine machine = config_.machine;
+  machine.devices[memsim::kDram].capacity =
+      std::max(machine.dram().capacity, pinned_bytes);
+
+  RunReport report;
+  report.workload = app.name();
+  report.policy = "pinned";
+
+  task::SimExecutor executor;
+  task::SimExecutor::Options opts;
+  opts.check_capacity = false;  // fixed placement, nothing moves
+  for (std::size_t iter = 0; iter < app.iterations(); ++iter) {
+    task::GraphBuilder builder;
+    app.build_iteration(builder, iter);
+    const task::TaskGraph graph = builder.build();
+    const task::SimReport sim =
+        executor.run(graph, machine, state.placement, {}, opts);
+    report.iteration_seconds.push_back(sim.makespan);
+    report.compute_seconds += sim.makespan;
+  }
+  return report;
+}
+
+bool Runtime::run_real(Application& app,
+                       const std::vector<task::ScheduledCopy>& schedule,
+                       unsigned workers) {
+  TAHOE_REQUIRE(config_.backing == hms::Backing::Real,
+                "run_real requires real backing");
+  AppState state = prepare(app, /*huge_tiers=*/false);
+  hms::MigrationEngine engine(*state.registry,
+                              hms::MigrationEngine::Mode::HelperThread);
+  task::Executor executor(workers);
+
+  for (std::size_t iter = 0; iter < app.iterations(); ++iter) {
+    task::GraphBuilder builder;
+    app.build_iteration(builder, iter);
+    const task::TaskGraph graph = builder.build();
+    executor.run(graph, [&](task::GroupId g) {
+      // Fire this group's proactive copies, then wait for the ones the
+      // group needs — the paper's phase-boundary protocol.
+      for (const task::ScheduledCopy& c : schedule) {
+        if (c.trigger_group == g) {
+          engine.enqueue(hms::MigrationRequest{c.object, c.chunk, c.dst,
+                                               c.needed_group});
+        }
+      }
+      engine.wait_tag(g);
+    });
+  }
+  engine.drain();
+  return app.verify(*state.registry);
+}
+
+}  // namespace tahoe::core

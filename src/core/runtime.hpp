@@ -1,0 +1,90 @@
+// Tahoe runtime facade.
+//
+// Orchestrates the full lifecycle of the paper's system for an iterative
+// task-parallel application:
+//
+//   allocate objects -> (optional) initial placement -> profile the first
+//   iterations with sampling counters -> decide placement (policy) ->
+//   enforce it with proactive helper-thread migration every remaining
+//   iteration -> monitor for workload variation and re-profile when it
+//   drifts.
+//
+// Two execution paths share this orchestration:
+//   * run()/run_static() — deterministic simulated timing (all reported
+//     numbers come from here);
+//   * run_real() — real threads, real kernels, real memcpy migrations,
+//     used by integration tests and examples to validate correctness of
+//     the data-management machinery.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/application.hpp"
+#include "core/policy.hpp"
+#include "core/report.hpp"
+#include "memsim/machine.hpp"
+
+namespace tahoe::core {
+
+struct RuntimeConfig {
+  memsim::Machine machine;
+  /// Virtual backing skips payload allocation/copies; simulation results
+  /// are identical. run_real() requires Real.
+  hms::Backing backing = hms::Backing::Real;
+  std::size_t profile_iterations = 2;
+  bool initial_placement = true;
+  bool chunking = true;
+  bool adaptive = true;
+  double adapt_threshold = 0.10;
+  /// Modeled cost per collected hardware sample (counter readout).
+  double sample_cost_seconds = 50e-9;
+  /// Modeled cost of the queue-status check at each phase boundary.
+  double sync_cost_seconds = 2e-6;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+
+  /// Simulated run under a placement policy.
+  RunReport run(Application& app, Policy& policy);
+
+  /// Simulated run with every object pinned to one tier (the DRAM-only /
+  /// NVM-only baselines). The tier is virtually enlarged to hold the whole
+  /// footprint.
+  RunReport run_static(Application& app, memsim::DeviceId tier);
+
+  /// Simulated run with a fixed manual placement: the named objects live
+  /// in DRAM (whole objects, all chunks), everything else on NVM, and no
+  /// migration ever happens. This is the per-object placement-impact
+  /// experiment of the paper (its Fig. 4).
+  RunReport run_pinned(Application& app,
+                       const std::vector<std::string>& dram_objects);
+
+  /// Real execution (threads + memcpy migrations driven by `schedule`).
+  /// Returns the application's verify() result.
+  bool run_real(Application& app,
+                const std::vector<task::ScheduledCopy>& schedule,
+                unsigned workers);
+
+  const memsim::Machine& machine() const noexcept { return config_.machine; }
+  const RuntimeConfig& config() const noexcept { return config_; }
+
+ private:
+  struct AppState {
+    std::unique_ptr<hms::ObjectRegistry> registry;
+    std::vector<ObjectInfo> objects;
+    hms::PlacementMap placement;
+  };
+
+  /// Allocate the app's objects and build the object inventory.
+  AppState prepare(Application& app, bool huge_tiers);
+
+  RuntimeConfig config_;
+};
+
+/// Collect the planner-facing object inventory from a registry.
+std::vector<ObjectInfo> collect_objects(const hms::ObjectRegistry& registry);
+
+}  // namespace tahoe::core

@@ -1,0 +1,111 @@
+#include "hms/arena.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace tahoe::hms {
+namespace {
+
+std::uint64_t round_up(std::uint64_t v, std::uint64_t granule) {
+  return (v + granule - 1) / granule * granule;
+}
+
+}  // namespace
+
+Arena::Arena(std::string name, std::uint64_t capacity, Backing backing)
+    : name_(std::move(name)),
+      capacity_(round_up(capacity, kCacheLine)),
+      backing_(backing) {
+  TAHOE_REQUIRE(capacity > 0, "arena capacity must be positive");
+  free_ranges_.emplace(0, capacity_);
+}
+
+void* Arena::alloc(std::uint64_t size) {
+  TAHOE_REQUIRE(size > 0, "zero-byte allocation");
+  const std::uint64_t need = round_up(size, kCacheLine);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // First fit over free ranges ordered by offset.
+  for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
+    if (it->second < need) continue;
+    Block block;
+    block.offset = it->first;
+    block.size = need;
+    // Virtual backing allocates a 1-byte identity buffer: the pointer is
+    // unique (map key, migration identity) but carries no payload.
+    block.mem = std::make_unique<std::byte[]>(
+        backing_ == Backing::Real ? need : 1);
+    // Shrink or remove the free range.
+    const std::uint64_t rest = it->second - need;
+    const std::uint64_t rest_offset = it->first + need;
+    free_ranges_.erase(it);
+    if (rest > 0) free_ranges_.emplace(rest_offset, rest);
+    used_ += need;
+    void* p = block.mem.get();
+    blocks_.emplace(p, std::move(block));
+    return p;
+  }
+  return nullptr;
+}
+
+void Arena::free(void* p) {
+  TAHOE_REQUIRE(p != nullptr, "freeing nullptr");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = blocks_.find(p);
+  TAHOE_REQUIRE(it != blocks_.end(), "pointer does not belong to arena " + name_);
+  const std::uint64_t offset = it->second.offset;
+  const std::uint64_t size = it->second.size;
+  blocks_.erase(it);
+  used_ -= size;
+
+  // Insert the range and coalesce with neighbours.
+  auto [ins, ok] = free_ranges_.emplace(offset, size);
+  TAHOE_ASSERT(ok, "double free of arena range");
+  // Coalesce with successor.
+  if (auto next = std::next(ins); next != free_ranges_.end() &&
+                                  ins->first + ins->second == next->first) {
+    ins->second += next->second;
+    free_ranges_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (ins != free_ranges_.begin()) {
+    auto prev = std::prev(ins);
+    if (prev->first + prev->second == ins->first) {
+      prev->second += ins->second;
+      free_ranges_.erase(ins);
+    }
+  }
+}
+
+bool Arena::owns(const void* p) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.contains(p);
+}
+
+std::uint64_t Arena::used() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+std::uint64_t Arena::free_bytes() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_ - used_;
+}
+
+std::uint64_t Arena::largest_free_range() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t best = 0;
+  for (const auto& [offset, size] : free_ranges_) {
+    (void)offset;
+    best = std::max(best, size);
+  }
+  return best;
+}
+
+std::size_t Arena::live_allocations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.size();
+}
+
+}  // namespace tahoe::hms

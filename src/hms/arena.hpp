@@ -1,0 +1,72 @@
+// User-level memory arena with a first-fit free-list allocator.
+//
+// This is the "user-level service" of the paper line: DRAM capacity on the
+// heterogeneous system is limited and coordinated at user level, without OS
+// changes. The arena manages a *logical* address range of `capacity` bytes
+// with real free-list bookkeeping (so fragmentation behaviour is faithful
+// and testable), while each live allocation is backed by its own host
+// buffer — this lets the test/bench configurations model multi-GiB NVM
+// tiers without reserving that much physical memory up front.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace tahoe::hms {
+
+/// Whether allocations carry real host buffers (required to run kernels)
+/// or only logical bookkeeping (sufficient for simulation-only runs, and
+/// much faster for multi-GiB benchmark configurations).
+enum class Backing { Real, Virtual };
+
+class Arena {
+ public:
+  Arena(std::string name, std::uint64_t capacity,
+        Backing backing = Backing::Real);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `size` bytes (rounded up to 64-byte granules). Returns
+  /// nullptr when no free range can fit the request (caller decides how to
+  /// react — the Tahoe planner treats this as "no DRAM space").
+  void* alloc(std::uint64_t size);
+
+  /// Release an allocation previously returned by alloc().
+  void free(void* p);
+
+  /// True when `p` belongs to this arena.
+  bool owns(const void* p) const;
+
+  const std::string& name() const noexcept { return name_; }
+  Backing backing() const noexcept { return backing_; }
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t used() const noexcept;
+  std::uint64_t free_bytes() const noexcept;
+  /// Size of the largest single allocatable range (fragmentation metric).
+  std::uint64_t largest_free_range() const;
+  std::size_t live_allocations() const;
+
+ private:
+  struct Block {
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::unique_ptr<std::byte[]> mem;
+  };
+
+  std::string name_;
+  std::uint64_t capacity_;
+  Backing backing_;
+  mutable std::mutex mutex_;
+  std::uint64_t used_ = 0;
+  /// Free ranges keyed by logical offset; adjacent ranges are coalesced.
+  std::map<std::uint64_t, std::uint64_t> free_ranges_;
+  /// Live blocks keyed by backing pointer.
+  std::map<const void*, Block> blocks_;
+};
+
+}  // namespace tahoe::hms

@@ -1,0 +1,21 @@
+#include "hms/data_object.hpp"
+
+#include "common/assert.hpp"
+
+namespace tahoe::hms {
+
+memsim::DeviceId DataObject::device() const {
+  TAHOE_REQUIRE(chunks.size() == 1,
+                "device() is only defined for unchunked objects");
+  return chunks.front().device;
+}
+
+std::uint64_t DataObject::bytes_on(memsim::DeviceId dev) const noexcept {
+  std::uint64_t total = 0;
+  for (const Chunk& c : chunks) {
+    if (c.device == dev) total += c.bytes;
+  }
+  return total;
+}
+
+}  // namespace tahoe::hms

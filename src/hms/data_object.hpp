@@ -1,0 +1,63 @@
+// Data objects: the unit of placement, profiling and migration.
+//
+// A DataObject is what the application allocates through the Tahoe
+// allocation API (the analogue of `unimem_malloc` in the paper line). It is
+// divided into one or more chunks; unchunked objects have exactly one. Each
+// chunk carries its own placement and backing pointer, enabling the
+// "handling large data objects" optimization (chunk-granular migration of
+// regular 1-D arrays).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/access.hpp"
+
+namespace tahoe::hms {
+
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kInvalidObject = 0xffffffffu;
+
+struct Chunk {
+  std::uint64_t bytes = 0;
+  memsim::DeviceId device = memsim::kNvm;
+  /// Current backing storage. Atomic: kernels read it at task start while
+  /// the helper thread may be redirecting other chunks.
+  std::atomic<std::byte*> ptr{nullptr};
+
+  Chunk() = default;
+  Chunk(const Chunk& o)
+      : bytes(o.bytes), device(o.device), ptr(o.ptr.load()) {}
+  Chunk& operator=(const Chunk& o) {
+    bytes = o.bytes;
+    device = o.device;
+    ptr.store(o.ptr.load());
+    return *this;
+  }
+};
+
+struct DataObject {
+  ObjectId id = kInvalidObject;
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::vector<Chunk> chunks;
+  /// Alias slots registered by the application; rewritten after migration
+  /// (only meaningful for unchunked objects, as in the paper line).
+  std::vector<void**> aliases;
+  /// Static (compiler-analysis style) estimate of total references, used
+  /// by the initial-placement optimization. 0 = unknown.
+  double static_ref_estimate = 0.0;
+
+  std::size_t num_chunks() const noexcept { return chunks.size(); }
+  bool chunked() const noexcept { return chunks.size() > 1; }
+
+  /// Device of an unchunked object (requires num_chunks() == 1).
+  memsim::DeviceId device() const;
+
+  /// Bytes of the object currently resident on `dev`.
+  std::uint64_t bytes_on(memsim::DeviceId dev) const noexcept;
+};
+
+}  // namespace tahoe::hms

@@ -1,0 +1,106 @@
+#include "hms/migration.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace tahoe::hms {
+
+MigrationEngine::MigrationEngine(ObjectRegistry& registry, Mode mode)
+    : registry_(registry), mode_(mode) {
+  if (mode_ == Mode::HelperThread) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+}
+
+MigrationEngine::~MigrationEngine() {
+  if (mode_ == Mode::HelperThread) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_enqueue_.notify_all();
+    worker_.join();
+  }
+}
+
+void MigrationEngine::enqueue(const MigrationRequest& req) {
+  if (mode_ == Mode::Inline) {
+    execute(req);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    completed_tag_ = std::max(completed_tag_, req.tag);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TAHOE_REQUIRE(!stop_, "enqueue after engine shutdown");
+    queue_.push_back(req);
+  }
+  cv_enqueue_.notify_one();
+}
+
+void MigrationEngine::execute(const MigrationRequest& req) {
+  const bool ok = registry_.migrate_chunk(req.object, req.chunk, req.dst);
+  if (!ok) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++rejected_;
+    TAHOE_WARN("migration of object " << req.object << " chunk " << req.chunk
+                                      << " rejected: no space on tier "
+                                      << req.dst);
+  }
+}
+
+void MigrationEngine::worker_loop() {
+  for (;;) {
+    MigrationRequest req;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_enqueue_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        TAHOE_ASSERT(stop_, "worker woke without work or stop");
+        return;
+      }
+      req = queue_.front();
+      // Keep the request at the front while processing so that wait_tag
+      // observes it as incomplete; pop after execution.
+    }
+    execute(req);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      TAHOE_ASSERT(!queue_.empty(), "queue emptied behind the worker");
+      queue_.pop_front();
+      completed_tag_ = std::max(completed_tag_, req.tag);
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void MigrationEngine::wait_tag(std::uint64_t tag) {
+  if (mode_ == Mode::Inline) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this, tag] {
+    for (const MigrationRequest& r : queue_) {
+      if (r.tag <= tag) return false;
+    }
+    return true;
+  });
+}
+
+void MigrationEngine::drain() {
+  if (mode_ == Mode::Inline) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return queue_.empty(); });
+}
+
+std::uint64_t MigrationEngine::rejected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+std::size_t MigrationEngine::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace tahoe::hms

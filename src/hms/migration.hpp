@@ -1,0 +1,79 @@
+// Asynchronous migration engine: the "helper thread" of the paper line.
+//
+// The main thread enqueues migration requests into a FIFO queue; a helper
+// thread dequeues and performs the copies (real memcpy + pointer
+// redirection via the ObjectRegistry) in parallel with application
+// execution. The queue doubles as the synchronization mechanism: at a phase
+// boundary the runtime calls wait_tag() to ensure the moves needed by the
+// upcoming tasks have completed.
+//
+// The engine also supports inline mode (no thread), which the
+// deterministic simulation executor uses: there, copy *timing* is modeled
+// as a flow in the fluid simulator while the data movement itself is done
+// synchronously at the modeled completion point.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "hms/registry.hpp"
+
+namespace tahoe::hms {
+
+struct MigrationRequest {
+  ObjectId object = kInvalidObject;
+  std::size_t chunk = 0;
+  memsim::DeviceId dst = memsim::kDram;
+  /// Monotonic tag; wait_tag(t) blocks until all requests with tag <= t
+  /// are done. The runtime tags requests with the phase that needs them.
+  std::uint64_t tag = 0;
+};
+
+class MigrationEngine {
+ public:
+  enum class Mode { HelperThread, Inline };
+
+  MigrationEngine(ObjectRegistry& registry, Mode mode);
+  ~MigrationEngine();
+
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+
+  /// Enqueue a request (helper mode) or execute it immediately (inline
+  /// mode). Never blocks in helper mode.
+  void enqueue(const MigrationRequest& req);
+
+  /// Block until every request with tag <= `tag` has been processed.
+  void wait_tag(std::uint64_t tag);
+
+  /// Block until the queue is fully drained.
+  void drain();
+
+  /// Requests whose destination had no space (the planner should have
+  /// prevented these; counted for diagnostics).
+  std::uint64_t rejected() const;
+
+  std::size_t pending() const;
+  Mode mode() const noexcept { return mode_; }
+
+ private:
+  void worker_loop();
+  void execute(const MigrationRequest& req);
+
+  ObjectRegistry& registry_;
+  Mode mode_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_enqueue_;
+  std::condition_variable cv_done_;
+  std::deque<MigrationRequest> queue_;
+  std::uint64_t completed_tag_ = 0;  // all tags <= this are done
+  std::uint64_t rejected_ = 0;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace tahoe::hms

@@ -1,0 +1,49 @@
+// PlacementMap: where each (object, chunk) unit currently lives — or, for
+// the planner, where a hypothetical plan puts it. Cheap to copy (plans fork
+// it), defaulting unknown units to NVM, which matches the system's default
+// initial placement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "hms/data_object.hpp"
+#include "memsim/access.hpp"
+
+namespace tahoe::hms {
+
+class PlacementMap {
+ public:
+  using Unit = std::pair<ObjectId, std::size_t>;
+
+  memsim::DeviceId device_of(ObjectId id, std::size_t chunk = 0) const {
+    const auto it = map_.find(Unit{id, chunk});
+    return it == map_.end() ? memsim::kNvm : it->second;
+  }
+
+  void set(ObjectId id, std::size_t chunk, memsim::DeviceId dev) {
+    map_[Unit{id, chunk}] = dev;
+  }
+
+  bool operator==(const PlacementMap&) const = default;
+
+  /// Bytes mapped to `dev` given the authoritative chunk sizes.
+  template <typename SizeFn>  // uint64_t(ObjectId, std::size_t chunk)
+  std::uint64_t bytes_on(memsim::DeviceId dev, SizeFn size_of) const {
+    std::uint64_t total = 0;
+    for (const auto& [unit, d] : map_) {
+      if (d == dev) total += size_of(unit.first, unit.second);
+    }
+    return total;
+  }
+
+  const std::map<Unit, memsim::DeviceId>& entries() const noexcept {
+    return map_;
+  }
+
+ private:
+  std::map<Unit, memsim::DeviceId> map_;
+};
+
+}  // namespace tahoe::hms

@@ -1,0 +1,179 @@
+#include "hms/registry.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace tahoe::hms {
+
+ObjectRegistry::ObjectRegistry(const std::vector<std::uint64_t>& tier_capacities,
+                               Backing backing)
+    : backing_(backing) {
+  TAHOE_REQUIRE(tier_capacities.size() >= 2,
+                "registry needs at least DRAM and NVM tiers");
+  for (std::size_t d = 0; d < tier_capacities.size(); ++d) {
+    arenas_.push_back(std::make_unique<Arena>("tier-" + std::to_string(d),
+                                              tier_capacities[d], backing));
+  }
+}
+
+ObjectId ObjectRegistry::create(const std::string& name, std::uint64_t bytes,
+                                memsim::DeviceId initial,
+                                std::size_t num_chunks) {
+  TAHOE_REQUIRE(bytes > 0, "object must have positive size");
+  TAHOE_REQUIRE(num_chunks >= 1, "object needs at least one chunk");
+  TAHOE_REQUIRE(initial < arenas_.size(), "initial device out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto obj = std::make_unique<DataObject>();
+  obj->id = static_cast<ObjectId>(objects_.size());
+  obj->name = name;
+  obj->bytes = bytes;
+  obj->chunks.resize(num_chunks);
+  const std::uint64_t base = bytes / num_chunks;
+  std::uint64_t assigned = 0;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::uint64_t sz =
+        (c + 1 == num_chunks) ? bytes - assigned : base;
+    assigned += sz;
+    obj->chunks[c].bytes = sz;
+    obj->chunks[c].device = initial;
+    void* p = arenas_[initial]->alloc(sz);
+    TAHOE_REQUIRE(p != nullptr, "tier cannot hold object '" + name + "'");
+    if (backing_ == Backing::Real) std::memset(p, 0, sz);
+    obj->chunks[c].ptr.store(static_cast<std::byte*>(p),
+                             std::memory_order_release);
+  }
+  const ObjectId id = obj->id;
+  objects_.push_back(std::move(obj));
+  return id;
+}
+
+void ObjectRegistry::destroy(ObjectId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TAHOE_REQUIRE(id < objects_.size() && objects_[id] != nullptr,
+                "destroy of unknown object");
+  for (Chunk& c : objects_[id]->chunks) {
+    arenas_[c.device]->free(c.ptr.load(std::memory_order_acquire));
+  }
+  objects_[id].reset();
+}
+
+const DataObject& ObjectRegistry::get(ObjectId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TAHOE_REQUIRE(id < objects_.size() && objects_[id] != nullptr,
+                "unknown object id");
+  return *objects_[id];
+}
+
+DataObject& ObjectRegistry::get_mutable(ObjectId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TAHOE_REQUIRE(id < objects_.size() && objects_[id] != nullptr,
+                "unknown object id");
+  return *objects_[id];
+}
+
+std::size_t ObjectRegistry::num_objects() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& o : objects_) {
+    if (o) ++n;
+  }
+  return n;
+}
+
+std::vector<ObjectId> ObjectRegistry::live_objects() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectId> out;
+  for (const auto& o : objects_) {
+    if (o) out.push_back(o->id);
+  }
+  return out;
+}
+
+std::byte* ObjectRegistry::chunk_ptr(ObjectId id, std::size_t chunk) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TAHOE_REQUIRE(id < objects_.size() && objects_[id] != nullptr,
+                "unknown object id");
+  const DataObject& obj = *objects_[id];
+  TAHOE_REQUIRE(chunk < obj.chunks.size(), "chunk index out of range");
+  return obj.chunks[chunk].ptr.load(std::memory_order_acquire);
+}
+
+void ObjectRegistry::register_alias(ObjectId id, void** slot) {
+  TAHOE_REQUIRE(slot != nullptr, "null alias slot");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TAHOE_REQUIRE(id < objects_.size() && objects_[id] != nullptr,
+                "unknown object id");
+  DataObject& obj = *objects_[id];
+  TAHOE_REQUIRE(!obj.chunked(),
+                "alias registration is only supported for unchunked objects");
+  obj.aliases.push_back(slot);
+  *slot = obj.chunks.front().ptr.load(std::memory_order_acquire);
+}
+
+bool ObjectRegistry::migrate_chunk(ObjectId id, std::size_t chunk,
+                                   memsim::DeviceId dst) {
+  TAHOE_REQUIRE(dst < arenas_.size(), "destination device out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TAHOE_REQUIRE(id < objects_.size() && objects_[id] != nullptr,
+                "unknown object id");
+  DataObject& obj = *objects_[id];
+  TAHOE_REQUIRE(chunk < obj.chunks.size(), "chunk index out of range");
+  Chunk& c = obj.chunks[chunk];
+  if (c.device == dst) return true;  // already there
+
+  void* fresh = arenas_[dst]->alloc(c.bytes);
+  if (fresh == nullptr) {
+    ++stats_.failed_no_space;
+    return false;
+  }
+  std::byte* old = c.ptr.load(std::memory_order_acquire);
+  if (backing_ == Backing::Real) std::memcpy(fresh, old, c.bytes);
+  const memsim::DeviceId src = c.device;
+  c.device = dst;
+  c.ptr.store(static_cast<std::byte*>(fresh), std::memory_order_release);
+  arenas_[src]->free(old);
+
+  for (void** slot : obj.aliases) *slot = fresh;
+
+  ++stats_.migrations;
+  stats_.bytes_moved += c.bytes;
+  if (dst == memsim::kDram) ++stats_.to_dram;
+  if (dst == memsim::kNvm) ++stats_.to_nvm;
+  return true;
+}
+
+bool ObjectRegistry::migrate(ObjectId id, memsim::DeviceId dst) {
+  std::size_t n = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TAHOE_REQUIRE(id < objects_.size() && objects_[id] != nullptr,
+                  "unknown object id");
+    n = objects_[id]->chunks.size();
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!migrate_chunk(id, c, dst)) return false;
+  }
+  return true;
+}
+
+Arena& ObjectRegistry::arena(memsim::DeviceId dev) {
+  TAHOE_REQUIRE(dev < arenas_.size(), "tier out of range");
+  return *arenas_[dev];
+}
+
+const Arena& ObjectRegistry::arena(memsim::DeviceId dev) const {
+  TAHOE_REQUIRE(dev < arenas_.size(), "tier out of range");
+  return *arenas_[dev];
+}
+
+std::uint64_t ObjectRegistry::resident_bytes(memsim::DeviceId dev) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& o : objects_) {
+    if (o) total += o->bytes_on(dev);
+  }
+  return total;
+}
+
+}  // namespace tahoe::hms

@@ -1,0 +1,124 @@
+// Object registry: allocation, lookup, pointer redirection and migration.
+//
+// The registry is the application-facing allocation service (the
+// `tahoe_malloc` analogue). It owns one Arena per memory tier, creates
+// chunked or unchunked data objects, and implements migration as
+// allocate-copy-free with atomic pointer redirection plus rewriting of any
+// registered alias slots — the mechanism the paper line uses so that
+// applications keep working unmodified after a move.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hms/arena.hpp"
+#include "hms/data_object.hpp"
+#include "memsim/access.hpp"
+
+namespace tahoe::hms {
+
+struct MigrationStats {
+  std::uint64_t migrations = 0;        ///< chunk moves performed
+  std::uint64_t bytes_moved = 0;       ///< total bytes copied
+  std::uint64_t to_dram = 0;           ///< moves NVM -> DRAM
+  std::uint64_t to_nvm = 0;            ///< moves DRAM -> NVM
+  std::uint64_t failed_no_space = 0;   ///< refused: destination arena full
+};
+
+class ObjectRegistry {
+ public:
+  /// One capacity per tier, indexed by DeviceId (kDram, kNvm, ...).
+  /// Virtual backing skips payload allocation and copies — simulation-only
+  /// runs use it to model multi-GiB tiers cheaply.
+  explicit ObjectRegistry(const std::vector<std::uint64_t>& tier_capacities,
+                          Backing backing = Backing::Real);
+
+  ObjectRegistry(const ObjectRegistry&) = delete;
+  ObjectRegistry& operator=(const ObjectRegistry&) = delete;
+
+  /// Allocate a data object of `bytes`, split into `num_chunks` equal-ish
+  /// chunks, initially placed on `initial`. Throws if the tier cannot hold
+  /// the object.
+  ObjectId create(const std::string& name, std::uint64_t bytes,
+                  memsim::DeviceId initial, std::size_t num_chunks = 1);
+
+  /// Destroy an object and release its storage.
+  void destroy(ObjectId id);
+
+  const DataObject& get(ObjectId id) const;
+  DataObject& get_mutable(ObjectId id);
+  std::size_t num_objects() const;
+  std::vector<ObjectId> live_objects() const;
+
+  /// Current backing pointer of chunk `chunk` (typed views layer on top).
+  std::byte* chunk_ptr(ObjectId id, std::size_t chunk = 0) const;
+
+  /// Register an application alias slot to be rewritten after migrations
+  /// of the (unchunked) object.
+  void register_alias(ObjectId id, void** slot);
+
+  /// Move one chunk to `dst`. Copies the payload, frees the old backing,
+  /// atomically redirects the chunk pointer and rewrites aliases.
+  /// Returns false (and leaves everything untouched) when the destination
+  /// arena has no room.
+  bool migrate_chunk(ObjectId id, std::size_t chunk, memsim::DeviceId dst);
+
+  /// Convenience: migrate every chunk of the object.
+  bool migrate(ObjectId id, memsim::DeviceId dst);
+
+  Arena& arena(memsim::DeviceId dev);
+  const Arena& arena(memsim::DeviceId dev) const;
+  std::size_t num_tiers() const noexcept { return arenas_.size(); }
+
+  const MigrationStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = MigrationStats{}; }
+
+  /// Bytes currently resident per tier across all objects.
+  std::uint64_t resident_bytes(memsim::DeviceId dev) const;
+
+ private:
+  Backing backing_;
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<DataObject>> objects_;  // index = ObjectId
+  MigrationStats stats_;
+};
+
+/// Typed view over an unchunked object. The pointer is re-read on every
+/// data() call, so a handle stays valid across migrations.
+template <typename T>
+class Handle {
+ public:
+  Handle() = default;
+  Handle(ObjectRegistry* reg, ObjectId id, std::size_t count)
+      : reg_(reg), id_(id), count_(count) {}
+
+  T* data() const {
+    return reinterpret_cast<T*>(reg_->chunk_ptr(id_, 0));
+  }
+  std::span<T> span() const { return {data(), count_}; }
+  std::size_t size() const noexcept { return count_; }
+  ObjectId id() const noexcept { return id_; }
+  bool valid() const noexcept { return reg_ != nullptr; }
+
+  T& operator[](std::size_t i) const { return data()[i]; }
+
+ private:
+  ObjectRegistry* reg_ = nullptr;
+  ObjectId id_ = kInvalidObject;
+  std::size_t count_ = 0;
+};
+
+/// Allocate a typed unchunked object ("tahoe_malloc").
+template <typename T>
+Handle<T> make_array(ObjectRegistry& reg, const std::string& name,
+                     std::size_t count, memsim::DeviceId initial) {
+  const ObjectId id = reg.create(name, count * sizeof(T), initial, 1);
+  return Handle<T>(&reg, id, count);
+}
+
+}  // namespace tahoe::hms

@@ -1,0 +1,81 @@
+#include "hms/space_manager.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace tahoe::hms {
+
+SpaceManager::SpaceManager(std::uint64_t capacity) : capacity_(capacity) {
+  TAHOE_REQUIRE(capacity > 0, "space manager capacity must be positive");
+}
+
+bool SpaceManager::resident(ObjectId id, std::size_t chunk) const {
+  return resident_.contains(Unit{id, chunk});
+}
+
+bool SpaceManager::can_fit(std::uint64_t bytes) const noexcept {
+  return bytes <= free_bytes();
+}
+
+bool SpaceManager::add(ObjectId id, std::size_t chunk, std::uint64_t bytes) {
+  TAHOE_REQUIRE(bytes > 0, "cannot add empty unit");
+  const Unit u{id, chunk};
+  if (resident_.contains(u)) return true;
+  if (!can_fit(bytes)) return false;
+  resident_.emplace(u, bytes);
+  used_ += bytes;
+  return true;
+}
+
+std::uint64_t SpaceManager::remove(ObjectId id, std::size_t chunk) {
+  auto it = resident_.find(Unit{id, chunk});
+  if (it == resident_.end()) return 0;
+  const std::uint64_t bytes = it->second;
+  TAHOE_ASSERT(used_ >= bytes, "space accounting underflow");
+  used_ -= bytes;
+  resident_.erase(it);
+  return bytes;
+}
+
+std::vector<SpaceManager::Unit> SpaceManager::pick_victims(
+    std::uint64_t bytes, const std::vector<Unit>& pinned) const {
+  if (can_fit(bytes)) return {};
+  if (bytes > capacity_) return {};  // hopeless even when empty
+  const std::uint64_t need = bytes - free_bytes();
+  const auto is_pinned = [&pinned](const Unit& u) {
+    return std::find(pinned.begin(), pinned.end(), u) != pinned.end();
+  };
+
+  // Prefer the single smallest unit that frees enough space ("just big
+  // enough"), mirroring the paper's extra-cost minimization.
+  const std::pair<const Unit, std::uint64_t>* best_single = nullptr;
+  for (const auto& entry : resident_) {
+    if (entry.second >= need && !is_pinned(entry.first)) {
+      if (best_single == nullptr || entry.second < best_single->second) {
+        best_single = &entry;
+      }
+    }
+  }
+  if (best_single != nullptr) return {best_single->first};
+
+  // Otherwise evict largest-first until the request fits.
+  std::vector<std::pair<Unit, std::uint64_t>> units;
+  for (const auto& entry : resident_) {
+    if (!is_pinned(entry.first)) units.push_back(entry);
+  }
+  std::sort(units.begin(), units.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  std::vector<Unit> victims;
+  std::uint64_t freed = 0;
+  for (const auto& [unit, size] : units) {
+    victims.push_back(unit);
+    freed += size;
+    if (freed >= need) return victims;
+  }
+  return {};  // evictable units cannot make room
+}
+
+}  // namespace tahoe::hms

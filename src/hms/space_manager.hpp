@@ -1,0 +1,59 @@
+// DRAM-occupancy accounting used by the placement planner.
+//
+// The planner reasons about *future* DRAM contents phase by phase, before
+// any migration happens, so it needs bookkeeping that is decoupled from the
+// real Arena. SpaceManager tracks which (object, chunk) units are resident
+// in a tier of a given capacity, supports what-if queries ("which victims
+// would have to leave to fit X?"), and is cheaply copyable so local and
+// global searches can fork hypothetical states.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "hms/data_object.hpp"
+
+namespace tahoe::hms {
+
+class SpaceManager {
+ public:
+  using Unit = std::pair<ObjectId, std::size_t>;  ///< (object, chunk)
+
+  explicit SpaceManager(std::uint64_t capacity);
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+  std::uint64_t used() const noexcept { return used_; }
+  std::uint64_t free_bytes() const noexcept { return capacity_ - used_; }
+
+  bool resident(ObjectId id, std::size_t chunk = 0) const;
+  bool can_fit(std::uint64_t bytes) const noexcept;
+
+  /// Add a unit. Fails (returns false) if it does not fit.
+  bool add(ObjectId id, std::size_t chunk, std::uint64_t bytes);
+
+  /// Remove a unit (no-op if absent). Returns bytes released.
+  std::uint64_t remove(ObjectId id, std::size_t chunk = 0);
+
+  /// Pick victims to evict so that `bytes` fit, using the paper's rule:
+  /// evict resident units whose total size is *just big enough* — smallest
+  /// sufficient combination approximated by choosing the smallest single
+  /// sufficient unit, else greedily largest-first. Units in `pinned` are
+  /// never chosen. Victims are not removed; the caller decides. Returns
+  /// empty if even evicting every evictable unit would not fit.
+  std::vector<Unit> pick_victims(std::uint64_t bytes,
+                                 const std::vector<Unit>& pinned = {}) const;
+
+  /// All resident units with their sizes.
+  const std::map<Unit, std::uint64_t>& contents() const noexcept {
+    return resident_;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::map<Unit, std::uint64_t> resident_;
+};
+
+}  // namespace tahoe::hms

@@ -1,0 +1,62 @@
+// Shared plain types describing memory traffic, used by the machine model,
+// the task runtime, and the Tahoe core. They live in memsim so that the
+// dependency graph stays acyclic (task and core both depend on memsim).
+#pragma once
+
+#include <cstdint>
+
+namespace tahoe::memsim {
+
+/// Identifies one memory tier of the heterogeneous system.
+/// The library supports an arbitrary number of tiers, but the canonical
+/// configuration is two: kDram (fast, small) and kNvm (slow, large).
+using DeviceId = std::uint32_t;
+inline constexpr DeviceId kDram = 0;
+inline constexpr DeviceId kNvm = 1;
+
+/// Access pattern of one task to one data object, as the *application*
+/// produces it (pre-cache). `dep_frac` expresses how serialized the
+/// accesses are: 0 for fully independent (streaming) accesses that the
+/// memory-level parallelism of the core can overlap, 1 for a fully
+/// dependent pointer-chasing chain where every access waits for the
+/// previous one.
+struct ObjectTraffic {
+  std::uint64_t loads = 0;       ///< load instructions touching the object
+  std::uint64_t stores = 0;      ///< store instructions touching the object
+  std::uint64_t footprint = 0;   ///< bytes of the object the task touches
+  double dep_frac = 0.0;         ///< serial-dependence fraction in [0,1]
+  double locality = 0.0;         ///< temporal reuse quality in [0,1]
+  /// Spatial adjacency: probability that consecutive accesses fall in the
+  /// same cache line (7/8 for a sequential double stream — the default —
+  /// and ~0 for random gathers / pointer chasing). Same-line neighbours
+  /// hit the just-fetched line regardless of cache capacity.
+  double spatial = 0.875;
+
+  std::uint64_t accesses() const noexcept { return loads + stores; }
+};
+
+/// Main-memory traffic after the cache filter has been applied:
+/// what actually reaches a DRAM/NVM device.
+struct MemTraffic {
+  std::uint64_t read_lines = 0;   ///< cache-line fills (load+store misses)
+  std::uint64_t write_lines = 0;  ///< dirty write-backs
+  double dep_frac = 0.0;          ///< serialized fraction of the fills
+
+  std::uint64_t lines() const noexcept { return read_lines + write_lines; }
+
+  MemTraffic& operator+=(const MemTraffic& o) noexcept {
+    // Combining streams: weight the dependence fraction by line counts.
+    const std::uint64_t mine = lines();
+    const std::uint64_t total = mine + o.lines();
+    if (total > 0) {
+      dep_frac = (dep_frac * static_cast<double>(mine) +
+                  o.dep_frac * static_cast<double>(o.lines())) /
+                 static_cast<double>(total);
+    }
+    read_lines += o.read_lines;
+    write_lines += o.write_lines;
+    return *this;
+  }
+};
+
+}  // namespace tahoe::memsim

@@ -1,0 +1,53 @@
+#include "memsim/cache_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace tahoe::memsim {
+
+MemTraffic CacheModel::filter(const ObjectTraffic& t,
+                              std::uint64_t task_total_footprint) const noexcept {
+  MemTraffic out;
+  out.dep_frac = t.dep_frac;
+  if (t.accesses() == 0 || t.footprint == 0) return out;
+
+  const double footprint = static_cast<double>(t.footprint);
+  const double total = static_cast<double>(
+      std::max<std::uint64_t>(task_total_footprint, t.footprint));
+  // Proportional share of LLC capacity for this object.
+  const double share = static_cast<double>(llc_bytes) * (footprint / total);
+
+  const double lines_touched =
+      std::ceil(footprint / static_cast<double>(kCacheLine));
+  const double raw_accesses = static_cast<double>(t.accesses());
+  // Collapse spatially adjacent accesses: neighbours within the line just
+  // fetched hit unconditionally, independent of cache capacity.
+  const double spatial = std::clamp(t.spatial, 0.0, 1.0);
+  const double accesses =
+      std::max(std::min(lines_touched, raw_accesses),
+               raw_accesses * (1.0 - spatial));
+  // An object cannot miss more often than it is accessed.
+  const double compulsory = std::min(lines_touched, accesses);
+  const double reuse = accesses - compulsory;
+
+  const double resident = std::min(1.0, share / footprint);
+  const double hit_prob = std::clamp(t.locality, 0.0, 1.0) * resident;
+  const double reuse_misses = reuse * (1.0 - hit_prob);
+
+  // Split misses between loads and stores in proportion to the access mix.
+  const double store_frac =
+      static_cast<double>(t.stores) / raw_accesses;
+  const double total_misses = compulsory + reuse_misses;
+  const double store_misses = total_misses * store_frac;
+  const double load_misses = total_misses - store_misses;
+
+  // Store misses fill the line (read) and later write it back dirty.
+  out.read_lines =
+      static_cast<std::uint64_t>(std::llround(load_misses + store_misses));
+  out.write_lines = static_cast<std::uint64_t>(std::llround(store_misses));
+  return out;
+}
+
+}  // namespace tahoe::memsim

@@ -1,0 +1,73 @@
+#include "memsim/cache_sim.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace tahoe::memsim {
+
+CacheSim::CacheSim(std::uint64_t capacity_bytes, std::uint32_t associativity,
+                   std::uint32_t line_bytes)
+    : associativity_(associativity), line_bytes_(line_bytes) {
+  TAHOE_REQUIRE(associativity > 0, "associativity must be positive");
+  TAHOE_REQUIRE(line_bytes > 0 && std::has_single_bit(line_bytes),
+                "line size must be a power of two");
+  TAHOE_REQUIRE(capacity_bytes % (static_cast<std::uint64_t>(associativity) *
+                                  line_bytes) == 0,
+                "capacity must be a multiple of associativity*line");
+  sets_ = capacity_bytes /
+          (static_cast<std::uint64_t>(associativity) * line_bytes);
+  TAHOE_REQUIRE(sets_ > 0, "cache must have at least one set");
+  ways_.resize(sets_ * associativity_);
+}
+
+bool CacheSim::access(std::uint64_t address, bool is_store) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t line = address / line_bytes_;
+  const std::uint64_t set = line % sets_;
+  const std::uint64_t tag = line / sets_;
+  Way* base = &ways_[set * associativity_];
+
+  // Hit path.
+  for (std::uint32_t w = 0; w < associativity_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      way.dirty = way.dirty || is_store;
+      ++stats_.hits;
+      return true;
+    }
+  }
+
+  // Miss: find invalid way or evict true-LRU victim.
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < associativity_; ++w) {
+    Way& way = base[w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  if (victim->valid && victim->dirty) ++stats_.writebacks;
+  victim->valid = true;
+  victim->dirty = is_store;
+  victim->tag = tag;
+  victim->lru = tick_;
+  if (is_store) {
+    ++stats_.store_misses;
+  } else {
+    ++stats_.load_misses;
+  }
+  return false;
+}
+
+void CacheSim::flush() {
+  for (Way& way : ways_) {
+    if (way.valid && way.dirty) ++stats_.writebacks;
+    way = Way{};
+  }
+}
+
+}  // namespace tahoe::memsim

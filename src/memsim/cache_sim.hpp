@@ -1,0 +1,63 @@
+// Reference trace-driven set-associative cache simulator.
+//
+// Not on the hot path: the fluid engine uses the analytic CacheModel. This
+// simulator exists to (a) validate the analytic model's qualitative
+// behaviour in the test suite (monotonicity in footprint/locality,
+// compulsory floor, write-back accounting) and (b) support an optional
+// trace mode for small kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tahoe::memsim {
+
+struct CacheSimStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t load_misses = 0;
+  std::uint64_t store_misses = 0;
+  std::uint64_t writebacks = 0;
+
+  std::uint64_t misses() const noexcept { return load_misses + store_misses; }
+  double miss_rate() const noexcept {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses()) / static_cast<double>(accesses);
+  }
+};
+
+/// Set-associative, write-back, write-allocate cache with true-LRU
+/// replacement.
+class CacheSim {
+ public:
+  CacheSim(std::uint64_t capacity_bytes, std::uint32_t associativity,
+           std::uint32_t line_bytes);
+
+  /// Simulate one access. Returns true on hit.
+  bool access(std::uint64_t address, bool is_store);
+
+  /// Drop all contents (keeps statistics).
+  void flush();
+
+  const CacheSimStats& stats() const noexcept { return stats_; }
+  std::uint32_t line_bytes() const noexcept { return line_bytes_; }
+  std::uint64_t sets() const noexcept { return sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint32_t associativity_;
+  std::uint32_t line_bytes_;
+  std::uint64_t sets_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_;  // sets_ * associativity_, row-major by set
+  CacheSimStats stats_;
+};
+
+}  // namespace tahoe::memsim

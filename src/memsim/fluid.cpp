@@ -1,0 +1,159 @@
+#include "memsim/fluid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace tahoe::memsim {
+namespace {
+
+// Component residues below this many seconds count as drained. The scale of
+// simulated runs is >= microseconds, so 1e-15 s is far below any signal.
+constexpr double kEps = 1e-15;
+
+}  // namespace
+
+FluidSim::FluidSim(std::size_t num_devices)
+    : active_on_device_(num_devices, 0), busy_seconds_(num_devices, 0.0) {
+  TAHOE_REQUIRE(num_devices > 0, "fluid sim needs at least one device");
+}
+
+FlowId FluidSim::start_flow(FlowSpec spec) {
+  TAHOE_REQUIRE(spec.device_seconds.size() <= active_on_device_.size(),
+                "flow references more devices than the machine has");
+  TAHOE_REQUIRE(spec.serial_seconds >= 0.0, "negative serial demand");
+  for (double d : spec.device_seconds) {
+    TAHOE_REQUIRE(d >= 0.0, "negative device demand");
+  }
+  Flow f;
+  f.serial_left = spec.serial_seconds;
+  f.device_left.assign(active_on_device_.size(), 0.0);
+  for (std::size_t d = 0; d < spec.device_seconds.size(); ++d) {
+    f.device_left[d] = spec.device_seconds[d];
+  }
+  f.tag = spec.tag;
+  f.start_time = now_;
+  const FlowId id = next_id_++;
+  for (std::size_t d = 0; d < f.device_left.size(); ++d) {
+    if (f.device_left[d] > kEps) ++active_on_device_[d];
+  }
+  flows_.emplace_back(id, std::move(f));
+  ++active_count_;
+  harvest_completions();
+  return id;
+}
+
+double FluidSim::next_component_dt() const {
+  double dt = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : flows_) {
+    if (f.serial_left > kEps) dt = std::min(dt, f.serial_left);
+    for (std::size_t d = 0; d < f.device_left.size(); ++d) {
+      if (f.device_left[d] > kEps) {
+        // Equal processor sharing: rate = 1 / (#flows active on device).
+        const double rate = 1.0 / static_cast<double>(active_on_device_[d]);
+        dt = std::min(dt, f.device_left[d] / rate);
+      }
+    }
+  }
+  return dt;
+}
+
+void FluidSim::drain(double dt) {
+  if (dt <= 0.0) return;
+  // Rates are fixed during the interval; compute shares first, then drain.
+  std::vector<double> rate(active_on_device_.size(), 0.0);
+  for (std::size_t d = 0; d < rate.size(); ++d) {
+    if (active_on_device_[d] > 0) {
+      rate[d] = 1.0 / static_cast<double>(active_on_device_[d]);
+    }
+  }
+  for (auto& [id, f] : flows_) {
+    if (f.serial_left > kEps) {
+      f.serial_left = std::max(0.0, f.serial_left - dt);
+    }
+    for (std::size_t d = 0; d < f.device_left.size(); ++d) {
+      if (f.device_left[d] > kEps) {
+        const double served = dt * rate[d];
+        const double applied = std::min(f.device_left[d], served);
+        busy_seconds_[d] += applied;
+        f.device_left[d] -= applied;
+        if (f.device_left[d] <= kEps) {
+          f.device_left[d] = 0.0;
+          TAHOE_ASSERT(active_on_device_[d] > 0, "device active underflow");
+          --active_on_device_[d];
+        }
+      }
+    }
+  }
+  now_ += dt;
+}
+
+void FluidSim::harvest_completions() {
+  // Compact the active list, emitting completions in flow-id order for
+  // determinism (the list is kept sorted by insertion, i.e. by id).
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    auto& [id, f] = flows_[i];
+    bool drained = f.serial_left <= kEps;
+    if (drained) {
+      for (double d : f.device_left) {
+        if (d > kEps) {
+          drained = false;
+          break;
+        }
+      }
+    }
+    if (drained) {
+      TAHOE_ASSERT(active_count_ > 0, "active flow count underflow");
+      --active_count_;
+      ready_.push_back(FlowCompletion{id, f.tag, now_, f.start_time});
+    } else {
+      if (keep != i) flows_[keep] = std::move(flows_[i]);
+      ++keep;
+    }
+  }
+  flows_.resize(keep);
+}
+
+std::optional<FlowCompletion> FluidSim::step() {
+  while (ready_head_ >= ready_.size()) {
+    if (active_count_ == 0) return std::nullopt;
+    const double dt = next_component_dt();
+    TAHOE_ASSERT(dt < std::numeric_limits<double>::infinity(),
+                 "active flows but nothing draining");
+    drain(dt);
+    harvest_completions();
+  }
+  FlowCompletion completion = ready_[ready_head_++];
+  if (ready_head_ >= ready_.size()) {
+    ready_.clear();
+    ready_head_ = 0;
+  }
+  return completion;
+}
+
+double FluidSim::advance(double dt) {
+  TAHOE_REQUIRE(dt >= 0.0, "cannot advance backwards");
+  double advanced = 0.0;
+  // Stop early if a completion becomes available.
+  while (advanced < dt && ready_head_ >= ready_.size() && active_count_ > 0) {
+    const double step_dt = std::min(dt - advanced, next_component_dt());
+    drain(step_dt);
+    harvest_completions();
+    advanced += step_dt;
+  }
+  if (ready_head_ >= ready_.size() && active_count_ == 0 && advanced < dt) {
+    // Nothing active: time passes freely.
+    now_ += dt - advanced;
+    advanced = dt;
+  }
+  return advanced;
+}
+
+double FluidSim::device_busy_seconds(std::size_t dev) const {
+  TAHOE_REQUIRE(dev < busy_seconds_.size(), "device index out of range");
+  return busy_seconds_[dev];
+}
+
+}  // namespace tahoe::memsim

@@ -1,0 +1,93 @@
+#include "memsim/machine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace tahoe::memsim {
+
+MemTraffic Machine::filtered(const ObjectTraffic& t,
+                             std::uint64_t task_total_footprint) const {
+  return llc.filter(t, task_total_footprint);
+}
+
+FlowSpec Machine::task_flow(
+    double compute_seconds,
+    const std::vector<std::pair<ObjectTraffic, DeviceId>>& accesses,
+    std::uint64_t tag) const {
+  TAHOE_REQUIRE(compute_seconds >= 0.0, "negative compute time");
+  std::uint64_t total_footprint = 0;
+  for (const auto& [traffic, dev] : accesses) {
+    (void)dev;
+    total_footprint += traffic.footprint;
+  }
+  FlowSpec spec;
+  spec.tag = tag;
+  spec.serial_seconds = compute_seconds;
+  spec.device_seconds.assign(devices.size(), 0.0);
+  for (const auto& [traffic, dev] : accesses) {
+    TAHOE_REQUIRE(dev < devices.size(), "device id out of range");
+    const MemTraffic mm = filtered(traffic, total_footprint);
+    spec.device_seconds[dev] += devices[dev].channel_seconds(mm);
+    spec.serial_seconds += devices[dev].latency_seconds(mm, mlp);
+  }
+  return spec;
+}
+
+FlowSpec Machine::copy_flow(std::uint64_t bytes, DeviceId src, DeviceId dst,
+                            std::uint64_t tag) const {
+  TAHOE_REQUIRE(src < devices.size() && dst < devices.size(),
+                "copy device out of range");
+  TAHOE_REQUIRE(src != dst, "copy within one device");
+  const double b = static_cast<double>(bytes);
+  FlowSpec spec;
+  spec.tag = tag;
+  spec.device_seconds.assign(devices.size(), 0.0);
+  spec.device_seconds[src] = b / devices[src].read_bw;
+  spec.device_seconds[dst] = b / devices[dst].write_bw;
+  spec.serial_seconds = copy_engine_bw > 0.0 ? b / copy_engine_bw : 0.0;
+  return spec;
+}
+
+double Machine::uncontended_task_seconds(
+    double compute_seconds,
+    const std::vector<std::pair<ObjectTraffic, DeviceId>>& accesses) const {
+  const FlowSpec spec = task_flow(compute_seconds, accesses, 0);
+  double channel = 0.0;
+  for (double d : spec.device_seconds) channel = std::max(channel, d);
+  return std::max(spec.serial_seconds, channel);
+}
+
+namespace machines {
+
+Machine platform_a(DeviceModel nvm, std::uint64_t dram_capacity) {
+  Machine m;
+  m.name = "platform-a";
+  m.cpu_hz = 2.4e9;
+  m.workers = 16;
+  m.mlp = 64.0;
+  m.llc = CacheModel{20 * kMiB};
+  DeviceModel dram_dev = devices::dram(dram_capacity);
+  m.devices = {dram_dev, std::move(nvm)};
+  // memcpy between tiers is staged through the cores; cap one stream at
+  // a typical single-thread copy rate.
+  m.copy_engine_bw = gbps(6.0);
+  return m;
+}
+
+Machine optane_platform(std::uint64_t dram_capacity) {
+  Machine m;
+  m.name = "optane-pmm";
+  m.cpu_hz = 2.4e9;
+  m.workers = 48;
+  m.mlp = 64.0;
+  m.llc = CacheModel{static_cast<std::uint64_t>(35.75 * static_cast<double>(kMiB))};
+  m.devices = {devices::dram(dram_capacity),
+               devices::optane_pm(1536 * kGiB)};
+  m.copy_engine_bw = gbps(6.0);
+  return m;
+}
+
+}  // namespace machines
+}  // namespace tahoe::memsim

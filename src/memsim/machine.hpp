@@ -1,0 +1,72 @@
+// Machine model: cores + LLC + heterogeneous memory devices + copy engine.
+//
+// The Machine is the single place that converts application-level traffic
+// (ObjectTraffic per data object, plus the object's current placement) into
+// FlowSpecs for the fluid simulator. It is also what the Tahoe performance
+// models are calibrated against — the models never peek at these internals;
+// they only see sampled counters and the device datasheet numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "memsim/access.hpp"
+#include "memsim/cache_model.hpp"
+#include "memsim/device.hpp"
+#include "memsim/fluid.hpp"
+
+namespace tahoe::memsim {
+
+struct Machine {
+  std::string name;
+  double cpu_hz = 2.4e9;
+  std::uint32_t workers = 16;       ///< task-executor worker threads
+  double mlp = 10.0;                ///< outstanding-miss parallelism per core
+  CacheModel llc{};                 ///< shared last-level cache
+  std::vector<DeviceModel> devices; ///< index kDram / kNvm
+  double copy_engine_bw = 0.0;      ///< bytes/s ceiling for one copy stream
+  std::uint64_t sample_interval = 1000;
+  std::uint64_t seed = 0x7a40e5c0ffee1234ULL;
+
+  const DeviceModel& dram() const { return devices.at(kDram); }
+  const DeviceModel& nvm() const { return devices.at(kNvm); }
+
+  /// Main-memory traffic of one object access after the LLC filter.
+  MemTraffic filtered(const ObjectTraffic& t,
+                      std::uint64_t task_total_footprint) const;
+
+  /// Build the fluid-flow specification for a task: `compute_seconds` of
+  /// pure compute plus the listed (traffic, device) pairs.
+  FlowSpec task_flow(
+      double compute_seconds,
+      const std::vector<std::pair<ObjectTraffic, DeviceId>>& accesses,
+      std::uint64_t tag) const;
+
+  /// Build the flow for an asynchronous migration copy of `bytes` from
+  /// device `src` to device `dst`. The copy reads the source channel and
+  /// writes the destination channel; its serial floor is set by the copy
+  /// engine (one memcpy stream cannot exceed copy_engine_bw).
+  FlowSpec copy_flow(std::uint64_t bytes, DeviceId src, DeviceId dst,
+                     std::uint64_t tag) const;
+
+  /// Duration of the task flow when running alone (no contention): used by
+  /// oracle computations in tests.
+  double uncontended_task_seconds(
+      double compute_seconds,
+      const std::vector<std::pair<ObjectTraffic, DeviceId>>& accesses) const;
+};
+
+namespace machines {
+
+/// "Platform A"-style cluster node: 16 workers at 2.4 GHz, 20 MiB LLC,
+/// DRAM limited to `dram_capacity`, paired with the given NVM model.
+Machine platform_a(DeviceModel nvm, std::uint64_t dram_capacity);
+
+/// Optane-PMM style two-socket box: 48 workers, 35.75 MiB LLC (per socket
+/// model collapsed to one), DRAM limited to `dram_capacity`, Optane PM NVM.
+Machine optane_platform(std::uint64_t dram_capacity);
+
+}  // namespace machines
+}  // namespace tahoe::memsim

@@ -1,0 +1,48 @@
+#include "memsim/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace tahoe::memsim {
+
+Sampler::Sampler(std::uint64_t interval_cycles, double cpu_hz,
+                 std::uint64_t seed)
+    : interval_cycles_(interval_cycles), cpu_hz_(cpu_hz), rng_(seed) {
+  TAHOE_REQUIRE(interval_cycles > 0, "sampling interval must be positive");
+  TAHOE_REQUIRE(cpu_hz > 0.0, "cpu frequency must be positive");
+}
+
+SampledCounts Sampler::sample(const ObjectTraffic& traffic,
+                              double duration_s) {
+  TAHOE_REQUIRE(duration_s >= 0.0, "duration must be non-negative");
+  SampledCounts out;
+  const double cycles = duration_s * cpu_hz_;
+  out.total_samples = static_cast<std::uint64_t>(
+      cycles / static_cast<double>(interval_cycles_));
+  if (out.total_samples == 0 || traffic.accesses() == 0) return out;
+
+  // Each retired load/store has probability 1/interval of being the
+  // instruction captured by a sample.
+  const double p = 1.0 / static_cast<double>(interval_cycles_);
+  out.loads = rng_.binomial(traffic.loads, p);
+  out.stores = rng_.binomial(traffic.stores, p);
+
+  // Probability that one sampling window (interval cycles long) contains at
+  // least one access to this object, assuming accesses arrive Poisson over
+  // the execution window: 1 - exp(-rate * interval).
+  const double rate = static_cast<double>(traffic.accesses()) / cycles;
+  const double p_window =
+      1.0 - std::exp(-rate * static_cast<double>(interval_cycles_));
+  out.samples_with_access = std::min(
+      out.total_samples, rng_.binomial(out.total_samples, p_window));
+  // A sample that captured an access trivially "contains" one; keep the
+  // estimator consistent under very sparse access streams.
+  out.samples_with_access =
+      std::max(out.samples_with_access, std::min(out.total_samples,
+                                                 out.accesses()));
+  return out;
+}
+
+}  // namespace tahoe::memsim

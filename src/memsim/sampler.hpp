@@ -1,0 +1,65 @@
+// Hardware-performance-counter sampling emulation (PEBS/IBS style).
+//
+// The Tahoe core never sees ground-truth access counts. It sees what a
+// sampling counter configured at one sample per `interval_cycles` would
+// deliver: a Binomial(n, 1/interval) subset of the true loads/stores, plus
+// the fraction of samples that contained at least one access to the object
+// (the denominator of the paper line's Eq. (1) bandwidth estimator). The
+// constant factors CF_bw / CF_lat calibrated offline absorb the resulting
+// systematic underestimation, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "memsim/access.hpp"
+
+namespace tahoe::memsim {
+
+/// What the counters report for one (task-type, data-object) pair during
+/// one profiled execution.
+struct SampledCounts {
+  std::uint64_t loads = 0;               ///< sampled load events
+  std::uint64_t stores = 0;              ///< sampled store events
+  std::uint64_t samples_with_access = 0; ///< samples containing >=1 access
+  std::uint64_t total_samples = 0;       ///< samples taken over the window
+
+  std::uint64_t accesses() const noexcept { return loads + stores; }
+
+  /// Estimated true access count (sampled count scaled by the interval).
+  double est_loads(std::uint64_t interval) const noexcept {
+    return static_cast<double>(loads) * static_cast<double>(interval);
+  }
+  double est_stores(std::uint64_t interval) const noexcept {
+    return static_cast<double>(stores) * static_cast<double>(interval);
+  }
+  /// Fraction of execution time with accesses to the object (Eq. (1)).
+  double active_fraction() const noexcept {
+    if (total_samples == 0) return 0.0;
+    return static_cast<double>(samples_with_access) /
+           static_cast<double>(total_samples);
+  }
+};
+
+class Sampler {
+ public:
+  /// @param interval_cycles sample period (the evaluation uses 1000).
+  /// @param cpu_hz          core clock used to convert time to cycles.
+  /// @param seed            seed for the deterministic sampling stream.
+  Sampler(std::uint64_t interval_cycles, double cpu_hz, std::uint64_t seed);
+
+  /// Emulate sampling of `traffic` spread over `duration_s` seconds of
+  /// execution. Deterministic: identical inputs on the same Sampler state
+  /// sequence give identical outputs.
+  SampledCounts sample(const ObjectTraffic& traffic, double duration_s);
+
+  std::uint64_t interval() const noexcept { return interval_cycles_; }
+  double cpu_hz() const noexcept { return cpu_hz_; }
+
+ private:
+  std::uint64_t interval_cycles_;
+  double cpu_hz_;
+  Rng rng_;
+};
+
+}  // namespace tahoe::memsim

@@ -1,0 +1,194 @@
+#include "task/executor.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/assert.hpp"
+
+namespace tahoe::task {
+
+namespace {
+/// Sentinel meaning "no group is active yet".
+constexpr std::uint32_t kNoGroup = 0xffffffffu;
+}  // namespace
+
+Executor::Executor(unsigned num_workers) {
+  TAHOE_REQUIRE(num_workers >= 1, "executor needs at least one worker");
+  queues_.reserve(num_workers);
+  for (unsigned w = 0; w < num_workers; ++w) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_workers);
+  for (unsigned w = 0; w < num_workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    // The store must synchronize with the sleepers' predicate check (see
+    // push_ready): otherwise a worker that just found the queues empty
+    // but has not blocked yet misses this notification forever.
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Executor::push_ready(TaskId id, unsigned hint) {
+  WorkerQueue& q = *queues_[hint % queues_.size()];
+  {
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    q.deque.push_back(id);
+  }
+  // Synchronize with the sleepers' predicate check: without taking
+  // state_mutex_ here, a notify could land between a worker's (empty)
+  // queue scan and its block on the condition variable and be lost.
+  {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+  }
+  work_cv_.notify_one();
+}
+
+bool Executor::try_pop(unsigned self, TaskId& out) {
+  // Own queue first (LIFO for locality)...
+  {
+    WorkerQueue& q = *queues_[self];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.deque.empty()) {
+      out = q.deque.back();
+      q.deque.pop_back();
+      return true;
+    }
+  }
+  // ...then steal round-robin (FIFO from the victim's cold end).
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.deque.empty()) {
+      out = q.deque.front();
+      q.deque.pop_front();
+      steal_count_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Executor::worker_loop(unsigned self) {
+  for (;;) {
+    TaskId id = 0;
+    if (try_pop(self, id)) {
+      execute_task(id, self);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    work_cv_.wait(lock, [this, self] {
+      if (stop_.load(std::memory_order_acquire)) return true;
+      // Re-check queues under the cv to avoid lost wakeups.
+      for (std::size_t k = 0; k < queues_.size(); ++k) {
+        WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+        const std::lock_guard<std::mutex> qlock(q.mutex);
+        if (!q.deque.empty()) return true;
+      }
+      return false;
+    });
+    if (stop_.load(std::memory_order_acquire)) return;
+  }
+}
+
+void Executor::execute_task(TaskId id, unsigned self) {
+  const Task& t = graph_->task(id);
+  if (t.work) {
+    try {
+      t.work();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+  // Completion: release successors. Every task starts with an extra
+  // "activation token" on top of its predecessor count (see run()), so a
+  // task is pushed exactly once — by whichever decrement (the last
+  // predecessor or its group's activation) brings the counter to zero.
+  // This avoids the double-release race between the activation scan and
+  // concurrent completions.
+  for (TaskId succ : graph_->successors(id)) {
+    if (pending_preds_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      push_ready(succ, self);
+    }
+  }
+  barrier_remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1 ||
+      barrier_remaining_.load(std::memory_order_acquire) == 0) {
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+void Executor::run(const TaskGraph& graph,
+                   const std::function<void(GroupId)>& on_group_start) {
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  TAHOE_REQUIRE(graph.num_tasks() > 0, "empty graph");
+  graph_ = &graph;
+  first_error_ = nullptr;
+
+  const std::size_t n = graph.num_tasks();
+  // (Re)build the pred counters, each holding one extra activation token.
+  pending_preds_ = std::vector<std::atomic<std::uint32_t>>(n);
+  for (TaskId id = 0; id < n; ++id) {
+    pending_preds_[id].store(graph.num_predecessors(id) + 1,
+                             std::memory_order_relaxed);
+  }
+  remaining_.store(static_cast<std::uint32_t>(n), std::memory_order_release);
+
+  const bool phase_mode = static_cast<bool>(on_group_start);
+  if (phase_mode) {
+    // Sequential phases: activate one group at a time.
+    for (GroupId g = 0; g < graph.num_groups(); ++g) {
+      const Group& grp = graph.group(g);
+      on_group_start(g);
+      barrier_remaining_.store(static_cast<std::uint32_t>(grp.size()),
+                               std::memory_order_release);
+      active_group_.store(g, std::memory_order_release);
+      // Hand each task of the group its activation token.
+      unsigned hint = 0;
+      for (TaskId id = grp.first_task; id < grp.last_task; ++id) {
+        if (pending_preds_[id].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          push_ready(id, hint++);
+        }
+      }
+      // Wait for the group barrier.
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      done_cv_.wait(lock, [this] {
+        return barrier_remaining_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  } else {
+    active_group_.store(static_cast<std::uint32_t>(graph.num_groups() - 1),
+                        std::memory_order_release);
+    barrier_remaining_.store(static_cast<std::uint32_t>(n),
+                             std::memory_order_release);
+    unsigned hint = 0;
+    for (TaskId id = 0; id < n; ++id) {
+      if (pending_preds_[id].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        push_ready(id, hint++);
+      }
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    done_cv_.wait(lock, [this] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  TAHOE_ASSERT(remaining_.load(std::memory_order_acquire) == 0,
+               "run finished with tasks outstanding");
+  stats_.tasks_run += n;
+  stats_.steals = steal_count_.load(std::memory_order_relaxed);
+  graph_ = nullptr;
+  active_group_.store(kNoGroup, std::memory_order_release);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace tahoe::task

@@ -1,0 +1,169 @@
+#include "task/graph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace tahoe::task {
+namespace {
+
+using Unit = std::pair<hms::ObjectId, std::size_t>;
+
+}  // namespace
+
+std::vector<GroupId> TaskGraph::groups_referencing(hms::ObjectId obj,
+                                                   std::size_t chunk) const {
+  std::vector<GroupId> out;
+  auto merge = [&out](const std::vector<GroupId>& gs) {
+    out.insert(out.end(), gs.begin(), gs.end());
+  };
+  if (chunk == kAllChunks) {
+    // Whole-object query: union over every unit of the object.
+    for (auto it = unit_groups_.lower_bound(Unit{obj, 0});
+         it != unit_groups_.end() && it->first.first == obj; ++it) {
+      merge(it->second);
+    }
+  } else {
+    if (const auto it = unit_groups_.find(Unit{obj, chunk});
+        it != unit_groups_.end()) {
+      merge(it->second);
+    }
+    if (const auto it = unit_groups_.find(Unit{obj, kAllChunks});
+        it != unit_groups_.end()) {
+      merge(it->second);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<GroupId> TaskGraph::last_reference_before(hms::ObjectId obj,
+                                                        std::size_t chunk,
+                                                        GroupId g) const {
+  const std::vector<GroupId> refs = groups_referencing(obj, chunk);
+  std::optional<GroupId> best;
+  for (GroupId r : refs) {
+    if (r < g) best = r;
+  }
+  return best;
+}
+
+bool TaskGraph::group_references(GroupId g, hms::ObjectId obj,
+                                 std::size_t chunk) const {
+  const std::vector<GroupId> refs = groups_referencing(obj, chunk);
+  return std::binary_search(refs.begin(), refs.end(), g);
+}
+
+std::vector<Unit> TaskGraph::referenced_units() const {
+  std::vector<Unit> out;
+  out.reserve(unit_groups_.size());
+  for (const auto& [unit, groups] : unit_groups_) {
+    (void)groups;
+    out.push_back(unit);
+  }
+  return out;
+}
+
+bool TaskGraph::edges_respect_program_order() const {
+  for (TaskId from = 0; from < succs_.size(); ++from) {
+    for (TaskId to : succs_[from]) {
+      if (to <= from) return false;
+    }
+  }
+  return true;
+}
+
+GroupId GraphBuilder::begin_group(std::string name) {
+  const auto g = static_cast<GroupId>(graph_.groups_.size());
+  Group grp;
+  grp.name = std::move(name);
+  grp.first_task = static_cast<TaskId>(graph_.tasks_.size());
+  grp.last_task = grp.first_task;
+  graph_.groups_.push_back(std::move(grp));
+  group_open_ = true;
+  return g;
+}
+
+void GraphBuilder::add_edge(TaskId from, TaskId to) {
+  if (from == to) return;
+  // Cheap dedup: consecutive accesses of one task to sibling units would
+  // otherwise create the same edge repeatedly.
+  if (from < last_target_of_.size() && last_target_of_[from] == to) return;
+  if (from >= last_target_of_.size()) {
+    last_target_of_.resize(from + 1, static_cast<TaskId>(-1));
+  }
+  last_target_of_[from] = to;
+  graph_.succs_[from].push_back(to);
+  ++graph_.pred_count_[to];
+  ++graph_.edge_count_;
+}
+
+void GraphBuilder::apply_access(const Unit& unit, TaskId tid, bool writes) {
+  UnitState& st = unit_state_[unit];
+  if (writes) {
+    // WAR edges from all readers since the last write, then WAW from the
+    // previous writer (if no readers intervened, the WAR set is empty and
+    // the WAW edge orders the writes).
+    for (TaskId r : st.readers_since_write) add_edge(r, tid);
+    if (st.readers_since_write.empty() && st.last_writer) {
+      add_edge(*st.last_writer, tid);
+    }
+    st.last_writer = tid;
+    st.readers_since_write.clear();
+  } else {
+    if (st.last_writer) add_edge(*st.last_writer, tid);  // RAW
+    st.readers_since_write.push_back(tid);
+  }
+}
+
+TaskId GraphBuilder::add_task(Task t) {
+  TAHOE_REQUIRE(group_open_, "add_task outside of a group");
+  const auto tid = static_cast<TaskId>(graph_.tasks_.size());
+  t.id = tid;
+  t.group = static_cast<GroupId>(graph_.groups_.size() - 1);
+  TAHOE_REQUIRE(t.compute_seconds >= 0.0, "negative compute time");
+
+  graph_.succs_.emplace_back();
+  graph_.pred_count_.push_back(0);
+
+  for (const DataAccess& a : t.accesses) {
+    TAHOE_REQUIRE(a.object != hms::kInvalidObject, "access to invalid object");
+    const Unit unit{a.object, a.chunk};
+
+    if (a.chunk == kAllChunks) {
+      // A whole-object access conflicts with each tracked chunk of the
+      // object as well as the whole-object stream itself.
+      for (auto it = unit_state_.lower_bound(Unit{a.object, 0});
+           it != unit_state_.end() && it->first.first == a.object; ++it) {
+        if (it->first.second == kAllChunks) continue;
+        apply_access(it->first, tid, a.writes());
+      }
+      apply_access(unit, tid, a.writes());
+    } else {
+      // A chunk access also conflicts with the whole-object stream.
+      if (unit_state_.contains(Unit{a.object, kAllChunks})) {
+        apply_access(Unit{a.object, kAllChunks}, tid, a.writes());
+      }
+      apply_access(unit, tid, a.writes());
+    }
+
+    auto& groups = graph_.unit_groups_[unit];
+    if (groups.empty() || groups.back() != t.group) {
+      groups.push_back(t.group);
+    }
+  }
+
+  graph_.groups_.back().last_task = tid + 1;
+  graph_.tasks_.push_back(std::move(t));
+  return tid;
+}
+
+TaskGraph GraphBuilder::build() {
+  TAHOE_REQUIRE(!graph_.groups_.empty(), "graph has no groups");
+  unit_state_.clear();
+  last_target_of_.clear();
+  return std::move(graph_);
+}
+
+}  // namespace tahoe::task

@@ -1,0 +1,119 @@
+// Task graph: program-order construction, automatic dependence derivation,
+// and the reference-index queries the data-placement planner needs.
+//
+// Tasks are appended in program order inside *groups*. A group is the
+// task-parallel analogue of the paper line's execution phase: one static
+// task-creation site of the iterative application (all tasks it spawns in
+// one iteration). Group boundaries are where placement decisions attach and
+// where proactive migrations are triggered/awaited.
+//
+// Dependences are derived from declared access sets at (object, chunk)
+// granularity, with OpenMP-style semantics: read-after-write,
+// write-after-read, and write-after-write conflicts create edges. A
+// whole-object access conflicts with every chunk of that object.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "task/task.hpp"
+
+namespace tahoe::task {
+
+struct Group {
+  std::string name;
+  TaskId first_task = 0;  ///< inclusive
+  TaskId last_task = 0;   ///< exclusive
+
+  std::size_t size() const noexcept { return last_task - first_task; }
+};
+
+class TaskGraph {
+ public:
+  const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  const Task& task(TaskId id) const { return tasks_.at(id); }
+  std::size_t num_tasks() const noexcept { return tasks_.size(); }
+
+  const std::vector<Group>& groups() const noexcept { return groups_; }
+  const Group& group(GroupId g) const { return groups_.at(g); }
+  std::size_t num_groups() const noexcept { return groups_.size(); }
+
+  const std::vector<TaskId>& successors(TaskId id) const {
+    return succs_.at(id);
+  }
+  std::uint32_t num_predecessors(TaskId id) const { return pred_count_.at(id); }
+  std::size_t num_edges() const noexcept { return edge_count_; }
+
+  /// Groups that reference the given unit, ascending. A chunk query also
+  /// includes groups that referenced the whole object, and a whole-object
+  /// query includes groups that referenced any chunk.
+  std::vector<GroupId> groups_referencing(hms::ObjectId obj,
+                                          std::size_t chunk) const;
+
+  /// Latest group strictly before `g` that references the unit; nullopt if
+  /// none. This bounds how early a proactive migration may be triggered.
+  std::optional<GroupId> last_reference_before(hms::ObjectId obj,
+                                               std::size_t chunk,
+                                               GroupId g) const;
+
+  /// Does any task of group `g` access the unit?
+  bool group_references(GroupId g, hms::ObjectId obj, std::size_t chunk) const;
+
+  /// All (object, chunk) units referenced anywhere, with chunk == kAllChunks
+  /// entries listed as-is.
+  std::vector<std::pair<hms::ObjectId, std::size_t>> referenced_units() const;
+
+  /// Topological sanity: true when every edge goes from a lower- or
+  /// equal-group task to a later task in program order (always holds for
+  /// builder-produced graphs; exposed for property tests).
+  bool edges_respect_program_order() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Task> tasks_;
+  std::vector<Group> groups_;
+  std::vector<std::vector<TaskId>> succs_;
+  std::vector<std::uint32_t> pred_count_;
+  std::size_t edge_count_ = 0;
+  /// unit -> ascending group ids referencing it (deduplicated).
+  std::map<std::pair<hms::ObjectId, std::size_t>, std::vector<GroupId>>
+      unit_groups_;
+};
+
+class GraphBuilder {
+ public:
+  /// Open a new group; subsequent add_task calls attach to it.
+  GroupId begin_group(std::string name);
+
+  /// Append a task to the current group (a group must be open). The task's
+  /// id and group fields are assigned by the builder. Returns the id.
+  TaskId add_task(Task t);
+
+  /// Finalize. The builder must not be reused afterwards.
+  TaskGraph build();
+
+  std::size_t num_tasks() const noexcept { return graph_.tasks_.size(); }
+
+ private:
+  struct UnitState {
+    std::optional<TaskId> last_writer;
+    std::vector<TaskId> readers_since_write;
+  };
+
+  void add_edge(TaskId from, TaskId to);
+  /// Apply one access to the dependence state of `unit`.
+  void apply_access(const std::pair<hms::ObjectId, std::size_t>& unit,
+                    TaskId tid, bool writes);
+
+  TaskGraph graph_;
+  bool group_open_ = false;
+  std::map<std::pair<hms::ObjectId, std::size_t>, UnitState> unit_state_;
+  /// Dedup edges from the same source to the same target.
+  std::vector<TaskId> last_target_of_;  // indexed by source task id
+};
+
+}  // namespace tahoe::task

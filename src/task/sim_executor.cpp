@@ -1,0 +1,211 @@
+#include "task/sim_executor.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/assert.hpp"
+#include "memsim/fluid.hpp"
+
+namespace tahoe::task {
+namespace {
+
+// Flow tags: tasks use their id; copies use kCopyBit | schedule index.
+constexpr std::uint64_t kCopyBit = 1ULL << 63;
+
+struct CopyState {
+  bool fired = false;
+  bool done = false;
+  bool in_flight = false;
+};
+
+}  // namespace
+
+SimReport SimExecutor::run(const TaskGraph& graph,
+                           const memsim::Machine& machine,
+                           hms::PlacementMap& placement,
+                           const std::vector<ScheduledCopy>& schedule,
+                           const Options& options) {
+  TAHOE_REQUIRE(graph.num_tasks() > 0, "empty graph");
+  for (const ScheduledCopy& c : schedule) {
+    TAHOE_REQUIRE(c.trigger_group <= c.needed_group,
+                  "copy triggered after it is needed");
+    TAHOE_REQUIRE(c.needed_group < graph.num_groups() + 1,
+                  "copy needed past the end of the graph");
+  }
+
+  const std::uint32_t workers =
+      options.workers != 0 ? options.workers : machine.workers;
+  TAHOE_REQUIRE(workers >= 1, "need at least one worker");
+
+  memsim::FluidSim sim(machine.devices.size());
+  SimReport report;
+  report.group_seconds.assign(graph.num_groups(), 0.0);
+  report.group_start.assign(graph.num_groups(), 0.0);
+  report.task_seconds.assign(graph.num_tasks(), 0.0);
+
+  // Dependence counters.
+  std::vector<std::uint32_t> pending(graph.num_tasks());
+  for (TaskId id = 0; id < graph.num_tasks(); ++id) {
+    pending[id] = graph.num_predecessors(id);
+  }
+
+  // Copy machinery: FIFO of fired copies, single copy in flight.
+  std::vector<CopyState> copy_state(schedule.size());
+  std::deque<std::size_t> copy_fifo;
+  std::size_t in_flight_copy = schedule.size();  // sentinel: none
+  std::map<memsim::FlowId, std::size_t> copy_flow_to_idx;
+
+  // Start queued copies until one is in flight (copies whose source
+  // already equals the destination — e.g. residency left over from a
+  // previous iteration — complete immediately and cost nothing).
+  auto start_next = [&]() {
+    while (in_flight_copy == schedule.size() && !copy_fifo.empty()) {
+      const std::size_t idx = copy_fifo.front();
+      copy_fifo.pop_front();
+      const ScheduledCopy& c = schedule[idx];
+      const memsim::DeviceId src = placement.device_of(c.object, c.chunk);
+      if (src == c.dst) {
+        copy_state[idx].done = true;
+        continue;  // nothing to move; try the next queued copy
+      }
+      const memsim::FlowSpec spec =
+          machine.copy_flow(c.bytes, src, c.dst, kCopyBit | idx);
+      const memsim::FlowId fid = sim.start_flow(spec);
+      copy_flow_to_idx[fid] = idx;
+      copy_state[idx].in_flight = true;
+      in_flight_copy = idx;
+    }
+  };
+
+  auto complete_copy = [&](std::size_t idx, double duration) {
+    const ScheduledCopy& c = schedule[idx];
+    copy_state[idx].in_flight = false;
+    copy_state[idx].done = true;
+    placement.set(c.object, c.chunk, c.dst);
+    ++report.copies_done;
+    report.bytes_copied += c.bytes;
+    report.copy_busy_seconds += duration;
+    TAHOE_ASSERT(in_flight_copy == idx, "copy completion out of order");
+    in_flight_copy = schedule.size();
+    if (options.check_capacity && options.unit_size &&
+        c.dst < machine.devices.size()) {
+      const std::uint64_t resident = placement.bytes_on(
+          c.dst, [&](hms::ObjectId o, std::size_t ch) {
+            return options.unit_size(o, ch);
+          });
+      TAHOE_ASSERT(resident <= machine.devices[c.dst].capacity,
+                   "placement exceeded device capacity");
+    }
+    start_next();
+  };
+
+  // Build the flow for one task under the current placement.
+  auto start_task = [&](TaskId id) {
+    const Task& t = graph.task(id);
+    std::vector<std::pair<memsim::ObjectTraffic, memsim::DeviceId>> acc;
+    acc.reserve(t.accesses.size());
+    for (const DataAccess& a : t.accesses) {
+      const std::size_t chunk = (a.chunk == kAllChunks) ? 0 : a.chunk;
+      // Whole-object accesses to chunked objects are charged per chunk by
+      // the workload layer; kAllChunks here refers to unit 0's placement.
+      acc.emplace_back(a.traffic, placement.device_of(a.object, chunk));
+    }
+    const memsim::FlowSpec spec =
+        machine.task_flow(t.compute_seconds, acc, t.id);
+    (void)sim.start_flow(spec);
+  };
+
+  // ---- main phase loop ----------------------------------------------
+  for (GroupId g = 0; g < graph.num_groups(); ++g) {
+    const Group& grp = graph.group(g);
+
+    // Fire copies triggered at this group's entry, in schedule order.
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      if (schedule[i].trigger_group == g && !copy_state[i].fired) {
+        copy_state[i].fired = true;
+        copy_fifo.push_back(i);
+      }
+    }
+    start_next();
+
+    // Wait for the copies this group needs (stall = exposed move cost).
+    auto needed_pending = [&]() {
+      for (std::size_t i = 0; i < schedule.size(); ++i) {
+        if (schedule[i].needed_group == g && copy_state[i].fired &&
+            !copy_state[i].done) {
+          return true;
+        }
+      }
+      return false;
+    };
+    const double wait_begin = sim.now();
+    while (needed_pending()) {
+      const auto completion = sim.step();
+      TAHOE_ASSERT(completion.has_value(),
+                   "waiting on copies but no active flows");
+      const auto it = copy_flow_to_idx.find(completion->id);
+      TAHOE_ASSERT(it != copy_flow_to_idx.end(),
+                   "unexpected task completion while only copies should run");
+      complete_copy(it->second, completion->time - completion->start_time);
+    }
+    report.stall_seconds += sim.now() - wait_begin;
+
+    // Run the group's tasks.
+    report.group_start[g] = sim.now();
+    std::vector<TaskId> ready;
+    for (TaskId id = grp.first_task; id < grp.last_task; ++id) {
+      if (pending[id] == 0) ready.push_back(id);
+    }
+    std::size_t running = 0;
+    std::size_t remaining = grp.size();
+    std::size_t next_ready = 0;
+    while (remaining > 0) {
+      while (running < workers && next_ready < ready.size()) {
+        start_task(ready[next_ready++]);
+        ++running;
+      }
+      const auto completion = sim.step();
+      TAHOE_ASSERT(completion.has_value(), "group deadlock in simulation");
+      if (completion->tag & kCopyBit) {
+        const auto it = copy_flow_to_idx.find(completion->id);
+        TAHOE_ASSERT(it != copy_flow_to_idx.end(), "unknown copy flow");
+        complete_copy(it->second, completion->time - completion->start_time);
+        continue;
+      }
+      const auto tid = static_cast<TaskId>(completion->tag);
+      report.task_seconds[tid] = completion->time - completion->start_time;
+      --running;
+      --remaining;
+      for (TaskId succ : graph.successors(tid)) {
+        TAHOE_ASSERT(pending[succ] > 0, "pred counter underflow");
+        if (--pending[succ] == 0 && graph.task(succ).group == g) {
+          ready.push_back(succ);
+        }
+      }
+    }
+    report.group_seconds[g] = sim.now() - report.group_start[g];
+  }
+
+  report.makespan = sim.now();
+
+  // Drain any trailing copies (they do not extend the makespan, but their
+  // busy time and placement effects are accounted for).
+  while (in_flight_copy != schedule.size() || !copy_fifo.empty()) {
+    start_next();
+    if (in_flight_copy == schedule.size()) break;  // all remaining were no-ops
+    const auto completion = sim.step();
+    TAHOE_ASSERT(completion.has_value(), "copy drain deadlock");
+    const auto it = copy_flow_to_idx.find(completion->id);
+    TAHOE_ASSERT(it != copy_flow_to_idx.end(), "unknown trailing flow");
+    complete_copy(it->second, completion->time - completion->start_time);
+  }
+
+  report.device_busy_seconds.resize(machine.devices.size());
+  for (std::size_t d = 0; d < machine.devices.size(); ++d) {
+    report.device_busy_seconds[d] = sim.device_busy_seconds(d);
+  }
+  return report;
+}
+
+}  // namespace tahoe::task

@@ -1,0 +1,85 @@
+// Deterministic simulated execution of a task graph on a heterogeneous
+// memory machine.
+//
+// Groups (phases) execute sequentially, as the paper's runtime enforces at
+// phase boundaries; inside a group, up to `workers` tasks run concurrently,
+// respecting intra-group dependences. Every running task is a fluid flow
+// (see memsim/fluid.hpp) whose demands depend on the *current placement* of
+// the data objects it touches.
+//
+// Proactive migration is modeled faithfully: a ScheduledCopy fires when its
+// trigger group is entered, joins the helper thread's FIFO (one copy in
+// flight at a time — a single helper thread), progresses as a flow that
+// contends for device bandwidth with the application, and updates the
+// placement map at its completion. Entering a group blocks until every copy
+// that the group *needs* has completed; the blocked time is recorded as
+// migration stall (the non-overlapped part of the data-movement cost).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hms/placement.hpp"
+#include "memsim/machine.hpp"
+#include "task/graph.hpp"
+
+namespace tahoe::task {
+
+struct ScheduledCopy {
+  hms::ObjectId object = hms::kInvalidObject;
+  std::size_t chunk = 0;
+  std::uint64_t bytes = 0;
+  memsim::DeviceId dst = memsim::kDram;
+  /// Fire when this group is entered...
+  GroupId trigger_group = 0;
+  /// ...and must be complete before this group starts running tasks.
+  GroupId needed_group = 0;
+};
+
+struct SimReport {
+  double makespan = 0.0;              ///< completion time of the last task
+  std::vector<double> group_seconds;  ///< wall span of each group
+  std::vector<double> group_start;    ///< entry time of each group
+  std::vector<double> task_seconds;   ///< duration of each task
+  std::uint64_t copies_done = 0;
+  std::uint64_t bytes_copied = 0;
+  double copy_busy_seconds = 0.0;  ///< sum of copy flow durations
+  double stall_seconds = 0.0;      ///< group-entry waits on copies
+  std::vector<double> device_busy_seconds;
+
+  /// Fraction of data-movement time hidden behind computation.
+  double overlap_fraction() const noexcept {
+    if (copy_busy_seconds <= 0.0) return 1.0;
+    const double overlapped = copy_busy_seconds - stall_seconds;
+    return overlapped > 0.0 ? overlapped / copy_busy_seconds : 0.0;
+  }
+};
+
+class SimExecutor {
+ public:
+  struct Options {
+    std::uint32_t workers = 0;  ///< 0 = machine.workers
+    /// Unit size oracle for the DRAM-occupancy invariant; optional.
+    std::function<std::uint64_t(hms::ObjectId, std::size_t)> unit_size;
+    /// When true (default), verify DRAM occupancy never exceeds capacity
+    /// after copy completions (requires unit_size).
+    bool check_capacity = true;
+  };
+
+  /// Execute and return the timing report. `placement` is consumed as the
+  /// initial state and left in its final state on return (so callers can
+  /// carry residency across iterations).
+  SimReport run(const TaskGraph& graph, const memsim::Machine& machine,
+                hms::PlacementMap& placement,
+                const std::vector<ScheduledCopy>& schedule,
+                const Options& options);
+
+  SimReport run(const TaskGraph& graph, const memsim::Machine& machine,
+                hms::PlacementMap& placement,
+                const std::vector<ScheduledCopy>& schedule) {
+    return run(graph, machine, placement, schedule, Options{});
+  }
+};
+
+}  // namespace tahoe::task

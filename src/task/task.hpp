@@ -1,0 +1,51 @@
+// Task model.
+//
+// A task is the unit of scheduling and — together with the data objects it
+// declares — the unit of data-placement reasoning. Tasks declare their
+// access sets (object, chunk, mode, traffic) exactly like OpenMP
+// `depend(in/out/inout)` clauses; the graph builder derives RAW/WAR/WAW
+// edges from program order. The declared ObjectTraffic is the ground truth
+// the simulator and the sampling emulator consume; the Tahoe core only ever
+// sees the sampled view.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hms/data_object.hpp"
+#include "memsim/access.hpp"
+
+namespace tahoe::task {
+
+using TaskId = std::uint32_t;
+using GroupId = std::uint32_t;
+inline constexpr std::size_t kAllChunks = std::numeric_limits<std::size_t>::max();
+
+enum class AccessMode : std::uint8_t { Read, Write, ReadWrite };
+
+struct DataAccess {
+  hms::ObjectId object = hms::kInvalidObject;
+  /// Specific chunk, or kAllChunks for the whole object.
+  std::size_t chunk = kAllChunks;
+  AccessMode mode = AccessMode::Read;
+  /// Ground-truth application traffic of this task to this unit.
+  memsim::ObjectTraffic traffic;
+
+  bool reads() const noexcept { return mode != AccessMode::Write; }
+  bool writes() const noexcept { return mode != AccessMode::Read; }
+};
+
+struct Task {
+  TaskId id = 0;
+  GroupId group = 0;
+  std::string label;
+  double compute_seconds = 0.0;  ///< modeled pure-compute time
+  std::vector<DataAccess> accesses;
+  /// Optional real kernel; empty for model-only (timing) runs.
+  std::function<void()> work;
+};
+
+}  // namespace tahoe::task

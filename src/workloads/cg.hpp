@@ -1,0 +1,59 @@
+// CG: conjugate gradient with a CSR sparse matrix (NPB-CG analogue).
+//
+// Data objects mirror the benchmark's target objects: the matrix (a,
+// colidx, rowstr), the vectors (x, z, p, q, r) and small scalar/scratch
+// areas. The SpMV gather through `p` is the latency-leaning access; the
+// matrix streams are bandwidth-leaning. Real kernels implement textbook
+// CG on a diagonally dominant SPD matrix, so convergence is verifiable.
+#pragma once
+
+#include "core/application.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe::workloads {
+
+class CgApp : public core::Application {
+ public:
+  struct Config {
+    std::size_t rows = 4096;
+    std::size_t nnz_per_row = 8;   ///< including the diagonal
+    std::size_t blocks = 4;        ///< row blocks = tasks per group
+    std::size_t iterations = 8;
+  };
+  static Config config_for(Scale scale);
+
+  explicit CgApp(Config config) : config_(config) {}
+
+  std::string name() const override { return "cg"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder,
+                       std::size_t iteration) override;
+  bool verify(hms::ObjectRegistry& registry) override;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  hms::ObjectRegistry* registry_ = nullptr;
+  bool real_ = false;
+
+  hms::ObjectId a_ = hms::kInvalidObject;
+  hms::ObjectId colidx_ = hms::kInvalidObject;
+  hms::ObjectId rowstr_ = hms::kInvalidObject;
+  hms::ObjectId x_ = hms::kInvalidObject;
+  hms::ObjectId z_ = hms::kInvalidObject;
+  hms::ObjectId p_ = hms::kInvalidObject;
+  hms::ObjectId q_ = hms::kInvalidObject;
+  hms::ObjectId r_ = hms::kInvalidObject;
+  hms::ObjectId scratch_ = hms::kInvalidObject;  ///< per-block dot partials
+  hms::ObjectId scalars_ = hms::kInvalidObject;  ///< alpha/beta/rho slots
+
+  double initial_rho_ = 0.0;
+
+  double* vec(hms::ObjectId id) const;
+  double* scratch_slot(std::size_t block) const;
+};
+
+}  // namespace tahoe::workloads

@@ -1,0 +1,49 @@
+// Cholesky: task-parallel right-looking blocked Cholesky factorization.
+//
+// The canonical tiled-DAG benchmark of task-parallel runtimes: per step k,
+// a diagonal POTRF task, a TRSM task per block column below it, and a
+// SYRK/GEMM update per trailing column. Like LU, the matrix is one large
+// object chunked by block column, so placement is chunk-granular; unlike
+// LU, the DAG is triangular, so the hot set *shrinks* across the
+// iteration — a distinctive pattern for the phase-local search.
+#pragma once
+
+#include "core/application.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe::workloads {
+
+class CholeskyApp : public core::Application {
+ public:
+  struct Config {
+    std::size_t n = 96;      ///< matrix dimension
+    std::size_t block = 24;  ///< block size (n % block == 0)
+    std::size_t iterations = 6;
+  };
+  static Config config_for(Scale scale);
+
+  explicit CholeskyApp(Config config) : config_(config) {}
+
+  std::string name() const override { return "cholesky"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder,
+                       std::size_t iteration) override;
+  bool verify(hms::ObjectRegistry& registry) override;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  std::size_t nblocks() const noexcept { return config_.n / config_.block; }
+  double* col(std::size_t j) const;
+  const double* col0(std::size_t j) const;
+
+  Config config_;
+  hms::ObjectRegistry* registry_ = nullptr;
+  bool real_ = false;
+  hms::ObjectId a0_ = hms::kInvalidObject;  ///< SPD master copy
+  hms::ObjectId a_ = hms::kInvalidObject;   ///< working matrix (chunked)
+};
+
+}  // namespace tahoe::workloads

@@ -1,0 +1,62 @@
+// FT: batched complex FFT with spectral evolution (NPB-FT analogue).
+//
+// The field is one very large flat array of complex values — the flagship
+// of the runtime-driven *chunking* optimization: the application asks the
+// ChunkingPolicy how many chunks to split it into, and every task works on
+// one chunk. Each iteration performs forward FFT, spectral evolve,
+// inverse FFT and the inverse phase twist, so the field returns to its
+// initial state — a strong end-to-end correctness check.
+#pragma once
+
+#include <complex>
+
+#include "core/application.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe::workloads {
+
+class FtApp : public core::Application {
+ public:
+  struct Config {
+    std::size_t log2_segment = 10;  ///< segment length = 2^log2_segment
+    std::size_t segments = 64;      ///< batched independent FFT segments
+    std::size_t iterations = 8;
+  };
+  static Config config_for(Scale scale);
+
+  explicit FtApp(Config config) : config_(config) {}
+
+  std::string name() const override { return "ft"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder,
+                       std::size_t iteration) override;
+  bool verify(hms::ObjectRegistry& registry) override;
+
+  std::size_t num_chunks() const noexcept { return chunks_; }
+
+ private:
+  using Cplx = std::complex<double>;
+
+  std::size_t segment_len() const noexcept {
+    return std::size_t{1} << config_.log2_segment;
+  }
+  std::size_t total_elems() const noexcept {
+    return segment_len() * config_.segments;
+  }
+  Cplx* chunk_data(std::size_t c) const;
+  void fft_chunk(std::size_t c, bool inverse) const;
+  void twist_chunk(std::size_t c, double sign) const;
+
+  Config config_;
+  hms::ObjectRegistry* registry_ = nullptr;
+  bool real_ = false;
+  std::size_t chunks_ = 1;
+  std::size_t elems_per_chunk_ = 0;
+  hms::ObjectId field_ = hms::kInvalidObject;
+  hms::ObjectId twiddle_ = hms::kInvalidObject;
+  hms::ObjectId checksum_ = hms::kInvalidObject;
+};
+
+}  // namespace tahoe::workloads

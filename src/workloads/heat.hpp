@@ -1,0 +1,50 @@
+// Heat: 2-D Jacobi heat diffusion with a variable-coefficient field.
+//
+// The classic task-parallel stencil: band tasks update u1 from u0 and the
+// conductivity field, a residual group reduces convergence data, and a
+// copy-back group advances the time step. Fixed hot/cold boundaries make
+// the steady state verifiable.
+#pragma once
+
+#include "core/application.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe::workloads {
+
+class HeatApp : public core::Application {
+ public:
+  struct Config {
+    std::size_t nx = 128;  ///< rows
+    std::size_t ny = 128;  ///< columns
+    std::size_t bands = 4;
+    std::size_t iterations = 10;
+  };
+  static Config config_for(Scale scale);
+
+  explicit HeatApp(Config config) : config_(config) {}
+
+  std::string name() const override { return "heat"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder,
+                       std::size_t iteration) override;
+  bool verify(hms::ObjectRegistry& registry) override;
+
+  /// Residual of the last completed sweep (real runs only).
+  double last_residual(hms::ObjectRegistry& registry) const;
+
+ private:
+  Config config_;
+  hms::ObjectRegistry* registry_ = nullptr;
+  bool real_ = false;
+  hms::ObjectId u0_ = hms::kInvalidObject;
+  hms::ObjectId u1_ = hms::kInvalidObject;
+  hms::ObjectId coeff_ = hms::kInvalidObject;
+  hms::ObjectId partial_ = hms::kInvalidObject;  ///< per-band residuals
+  hms::ObjectId scalars_ = hms::kInvalidObject;
+
+  double* grid(hms::ObjectId id) const;
+};
+
+}  // namespace tahoe::workloads

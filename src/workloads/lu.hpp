@@ -1,0 +1,51 @@
+// LU: task-parallel blocked dense LU factorization (no pivoting).
+//
+// The canonical task-parallel kernel: per step k, a diagonal-block factor
+// task, then one panel-update task per trailing block column. The working
+// matrix is a single large data object chunked by block column — the
+// chunked-placement code path's flagship. Each iteration of the main loop
+// re-factorizes (a time-stepping simulation re-assembling a similar
+// system), restoring the matrix from a read-only master copy first.
+#pragma once
+
+#include "core/application.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe::workloads {
+
+class LuApp : public core::Application {
+ public:
+  struct Config {
+    std::size_t n = 96;        ///< matrix dimension
+    std::size_t block = 24;    ///< block size (n % block == 0)
+    std::size_t iterations = 6;
+  };
+  static Config config_for(Scale scale);
+
+  explicit LuApp(Config config) : config_(config) {}
+
+  std::string name() const override { return "lu"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder,
+                       std::size_t iteration) override;
+  bool verify(hms::ObjectRegistry& registry) override;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  std::size_t nblocks() const noexcept { return config_.n / config_.block; }
+  /// Pointer to block column j of the working matrix (column-major slab
+  /// of n x block doubles).
+  double* col(std::size_t j) const;
+  const double* col0(std::size_t j) const;
+
+  Config config_;
+  hms::ObjectRegistry* registry_ = nullptr;
+  bool real_ = false;
+  hms::ObjectId a0_ = hms::kInvalidObject;  ///< master copy (read-only)
+  hms::ObjectId a_ = hms::kInvalidObject;   ///< working matrix (chunked)
+};
+
+}  // namespace tahoe::workloads

@@ -1,0 +1,50 @@
+// MG: multigrid V-cycle on a 1-D Poisson problem (NPB-MG analogue).
+//
+// Per-level data objects (u, r at each level, plus the finest-level
+// right-hand side v). The finest arrays dominate the footprint and —
+// faithfully to the paper's MG discussion — are *not* partitionable (the
+// benchmark's heavy use of memory aliasing defeats chunking), which is
+// what makes MG the stress case for small DRAM configurations.
+#pragma once
+
+#include "core/application.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe::workloads {
+
+class MgApp : public core::Application {
+ public:
+  struct Config {
+    std::size_t log2_n = 12;  ///< finest grid size = 2^log2_n
+    std::size_t levels = 5;
+    std::size_t bands = 4;    ///< tasks per fine-level group
+    std::size_t iterations = 10;
+  };
+  static Config config_for(Scale scale);
+
+  explicit MgApp(Config config) : config_(config) {}
+
+  std::string name() const override { return "mg"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder,
+                       std::size_t iteration) override;
+  bool verify(hms::ObjectRegistry& registry) override;
+
+ private:
+  std::size_t level_n(std::size_t level) const noexcept {
+    return (std::size_t{1} << config_.log2_n) >> level;
+  }
+  double* lvl(hms::ObjectId id) const;
+  void smooth_band(std::size_t level, std::size_t lo, std::size_t hi) const;
+
+  Config config_;
+  hms::ObjectRegistry* registry_ = nullptr;
+  bool real_ = false;
+  std::vector<hms::ObjectId> u_;  ///< solution per level
+  std::vector<hms::ObjectId> r_;  ///< residual per level
+  hms::ObjectId v_ = hms::kInvalidObject;  ///< finest RHS
+};
+
+}  // namespace tahoe::workloads

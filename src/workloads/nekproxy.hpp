@@ -1,0 +1,52 @@
+// NekProxy: a spectral-element CFD proxy standing in for Nek5000 (eddy).
+//
+// 48 data objects (geometry arrays + main simulation variables), ~12
+// distinct phases per time step with heterogeneous access patterns, and —
+// optionally — workload drift across iterations (the eddy strengthening),
+// which exercises the adaptivity machinery. This is the workload where
+// phase-local placement matters: the hot set changes from phase to phase
+// and does not fit DRAM all at once.
+#pragma once
+
+#include "core/application.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe::workloads {
+
+class NekProxyApp : public core::Application {
+ public:
+  struct Config {
+    std::size_t points = 1 << 16;  ///< grid points per field
+    std::size_t blocks = 8;        ///< tasks per phase
+    std::size_t iterations = 12;
+    /// Iteration at which the advection traffic doubles (0 = no drift).
+    std::size_t drift_at = 0;
+  };
+  static Config config_for(Scale scale);
+
+  explicit NekProxyApp(Config config) : config_(config) {}
+
+  std::string name() const override { return "nekproxy"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder,
+                       std::size_t iteration) override;
+  bool verify(hms::ObjectRegistry& registry) override;
+
+  std::size_t num_objects() const noexcept {
+    return geometry_.size() + fields_.size() + misc_.size();
+  }
+
+ private:
+  Config config_;
+  hms::ObjectRegistry* registry_ = nullptr;
+  bool real_ = false;
+  std::vector<hms::ObjectId> geometry_;  ///< 12 read-only geometry arrays
+  std::vector<hms::ObjectId> fields_;    ///< 14 simulation fields
+  std::vector<hms::ObjectId> misc_;      ///< 22 work/coefficient arrays
+
+  double* field(hms::ObjectId id) const;
+};
+
+}  // namespace tahoe::workloads

@@ -1,0 +1,74 @@
+// SP / BT: ADI-style pentadiagonal (SP) and block-tridiagonal (BT)
+// solver analogues.
+//
+// Reproduces the NPB SP/BT data-object structure the paper's placement
+// study uses: `lhs` with serialized line recurrences (latency-sensitive),
+// `in_buffer`/`out_buffer` with heavy streaming over a small footprint
+// (bandwidth-sensitive), `rhs` with both characters, and the
+// u/us/vs/ws/qs/rho_i/square/forcing field set. BT differs from SP by
+// larger block work per line (more compute, deeper lhs recurrences).
+#pragma once
+
+#include "core/application.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe::workloads {
+
+class SpApp : public core::Application {
+ public:
+  enum class Kind { SP, BT };
+
+  struct Config {
+    Kind kind = Kind::SP;
+    std::size_t grid = 36;       ///< n: conceptual n^3 grid
+    std::size_t blocks = 8;      ///< tasks per group (plane bands)
+    std::size_t iterations = 12;
+  };
+  static Config config_for(Scale scale, Kind kind);
+
+  explicit SpApp(Config config) : config_(config) {}
+
+  std::string name() const override {
+    return config_.kind == Kind::SP ? "sp" : "bt";
+  }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder,
+                       std::size_t iteration) override;
+  bool verify(hms::ObjectRegistry& registry) override;
+
+  const Config& config() const noexcept { return config_; }
+
+  /// Object handles exposed for the per-object placement-impact bench
+  /// (the paper's Fig. 4 experiment).
+  hms::ObjectId lhs() const noexcept { return lhs_; }
+  hms::ObjectId rhs() const noexcept { return rhs_; }
+  hms::ObjectId in_buffer() const noexcept { return in_buffer_; }
+  hms::ObjectId out_buffer() const noexcept { return out_buffer_; }
+
+ private:
+  void solve_group(task::GraphBuilder& builder, const char* label);
+
+  Config config_;
+  hms::ObjectRegistry* registry_ = nullptr;
+  bool real_ = false;
+  std::size_t cells_ = 0;  ///< n^3
+
+  hms::ObjectId u_ = hms::kInvalidObject;
+  hms::ObjectId rhs_ = hms::kInvalidObject;
+  hms::ObjectId forcing_ = hms::kInvalidObject;
+  hms::ObjectId lhs_ = hms::kInvalidObject;
+  hms::ObjectId us_ = hms::kInvalidObject;
+  hms::ObjectId vs_ = hms::kInvalidObject;
+  hms::ObjectId ws_ = hms::kInvalidObject;
+  hms::ObjectId qs_ = hms::kInvalidObject;
+  hms::ObjectId rho_i_ = hms::kInvalidObject;
+  hms::ObjectId square_ = hms::kInvalidObject;
+  hms::ObjectId in_buffer_ = hms::kInvalidObject;
+  hms::ObjectId out_buffer_ = hms::kInvalidObject;
+
+  double* arr(hms::ObjectId id) const;
+};
+
+}  // namespace tahoe::workloads

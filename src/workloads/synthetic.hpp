@@ -1,0 +1,78 @@
+// Synthetic workloads: controlled access patterns for calibration-style
+// tests, unit tests and the adaptivity ablation.
+#pragma once
+
+#include "core/application.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe::workloads {
+
+/// STREAM-like: one large array, pure streaming traffic.
+class StreamApp : public core::Application {
+ public:
+  struct Config {
+    std::uint64_t bytes = 64 << 20;
+    std::size_t tasks = 8;
+    std::size_t iterations = 6;
+  };
+
+  explicit StreamApp(Config config) : config_(config) {}
+  std::string name() const override { return "stream"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder, std::size_t iter) override;
+
+ private:
+  Config config_;
+  hms::ObjectId src_ = hms::kInvalidObject;
+  hms::ObjectId dst_ = hms::kInvalidObject;
+};
+
+/// Pointer-chase-like: one array walked as a fully dependent chain.
+class ChaseApp : public core::Application {
+ public:
+  struct Config {
+    std::uint64_t bytes = 16 << 20;
+    std::size_t iterations = 6;
+  };
+
+  explicit ChaseApp(Config config) : config_(config) {}
+  std::string name() const override { return "pchase"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder, std::size_t iter) override;
+
+ private:
+  Config config_;
+  hms::ObjectId ring_ = hms::kInvalidObject;
+};
+
+/// Two objects; the hot one switches at `drift_at` — the adaptivity probe.
+/// Before the switch, object A receives heavy traffic and B light traffic;
+/// after it, the roles flip. A frozen placement decided on early profiles
+/// keeps the wrong object in DRAM.
+class DriftApp : public core::Application {
+ public:
+  struct Config {
+    std::uint64_t bytes = 48 << 20;  ///< per object
+    std::size_t tasks = 8;
+    std::size_t iterations = 16;
+    std::size_t drift_at = 8;
+  };
+
+  explicit DriftApp(Config config) : config_(config) {}
+  std::string name() const override { return "drift"; }
+  std::size_t iterations() const override { return config_.iterations; }
+  void setup(hms::ObjectRegistry& registry,
+             const hms::ChunkingPolicy& chunking) override;
+  void build_iteration(task::GraphBuilder& builder, std::size_t iter) override;
+
+ private:
+  Config config_;
+  hms::ObjectId a_ = hms::kInvalidObject;
+  hms::ObjectId b_ = hms::kInvalidObject;
+};
+
+}  // namespace tahoe::workloads

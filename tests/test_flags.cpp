@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/flags.hpp"
+
+namespace tahoe {
+namespace {
+
+Flags make_flags() {
+  Flags f;
+  f.define_int("count", 4, "how many");
+  f.define_double("ratio", 0.5, "a ratio");
+  f.define_bool("verbose", false, "chatty");
+  f.define_string("name", "cg", "workload");
+  return f;
+}
+
+std::vector<std::string> parse(Flags& f, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return f.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, DefaultsWhenUnset) {
+  Flags f = make_flags();
+  parse(f, {});
+  EXPECT_EQ(f.get_int("count"), 4);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 0.5);
+  EXPECT_FALSE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get_string("name"), "cg");
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags f = make_flags();
+  parse(f, {"--count=9", "--ratio=1.25", "--name=ft", "--verbose=true"});
+  EXPECT_EQ(f.get_int("count"), 9);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), 1.25);
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get_string("name"), "ft");
+}
+
+TEST(Flags, SpaceSyntaxAndBareBool) {
+  Flags f = make_flags();
+  parse(f, {"--count", "7", "--verbose"});
+  EXPECT_EQ(f.get_int("count"), 7);
+  EXPECT_TRUE(f.get_bool("verbose"));
+}
+
+TEST(Flags, PositionalArgsReturned) {
+  Flags f = make_flags();
+  const auto pos = parse(f, {"alpha", "--count=2", "beta"});
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], "alpha");
+  EXPECT_EQ(pos[1], "beta");
+}
+
+TEST(Flags, UnknownFlagFailsLoudly) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--notaflag=1"}), ContractError);
+}
+
+TEST(Flags, BadValuesRejected) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--count=notanint"}), ContractError);
+  Flags g = make_flags();
+  EXPECT_THROW(parse(g, {"--ratio=NaNope"}), ContractError);
+  Flags h = make_flags();
+  EXPECT_THROW(parse(h, {"--verbose=maybe"}), ContractError);
+}
+
+TEST(Flags, MissingValueRejected) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--count"}), ContractError);
+}
+
+TEST(Flags, TypeMismatchOnGet) {
+  Flags f = make_flags();
+  parse(f, {});
+  EXPECT_THROW(f.get_int("ratio"), ContractError);
+  EXPECT_THROW(f.get_double("nope"), ContractError);
+}
+
+TEST(Flags, UsageListsEverything) {
+  Flags f = make_flags();
+  const std::string u = f.usage("bench");
+  EXPECT_NE(u.find("--count"), std::string::npos);
+  EXPECT_NE(u.find("--ratio"), std::string::npos);
+  EXPECT_NE(u.find("bench"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tahoe

@@ -1,0 +1,178 @@
+// Task graph construction: dependence derivation and reference queries.
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "task/graph.hpp"
+
+namespace tahoe::task {
+namespace {
+
+DataAccess acc(hms::ObjectId obj, AccessMode mode,
+               std::size_t chunk = kAllChunks) {
+  DataAccess a;
+  a.object = obj;
+  a.chunk = chunk;
+  a.mode = mode;
+  a.traffic.loads = 1;
+  a.traffic.footprint = 64;
+  return a;
+}
+
+Task task(std::vector<DataAccess> accesses) {
+  Task t;
+  t.accesses = std::move(accesses);
+  return t;
+}
+
+bool has_edge(const TaskGraph& g, TaskId from, TaskId to) {
+  for (TaskId s : g.successors(from)) {
+    if (s == to) return true;
+  }
+  return false;
+}
+
+TEST(Graph, RawDependence) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  const TaskId w = gb.add_task(task({acc(1, AccessMode::Write)}));
+  const TaskId r = gb.add_task(task({acc(1, AccessMode::Read)}));
+  const TaskGraph g = gb.build();
+  EXPECT_TRUE(has_edge(g, w, r));
+  EXPECT_EQ(g.num_predecessors(r), 1u);
+  EXPECT_EQ(g.num_predecessors(w), 0u);
+}
+
+TEST(Graph, WarDependence) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  const TaskId r = gb.add_task(task({acc(1, AccessMode::Read)}));
+  const TaskId w = gb.add_task(task({acc(1, AccessMode::Write)}));
+  const TaskGraph g = gb.build();
+  EXPECT_TRUE(has_edge(g, r, w));
+}
+
+TEST(Graph, WawDependence) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  const TaskId w1 = gb.add_task(task({acc(1, AccessMode::Write)}));
+  const TaskId w2 = gb.add_task(task({acc(1, AccessMode::Write)}));
+  const TaskGraph g = gb.build();
+  EXPECT_TRUE(has_edge(g, w1, w2));
+}
+
+TEST(Graph, ParallelReadersShareNoEdges) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  const TaskId w = gb.add_task(task({acc(1, AccessMode::Write)}));
+  const TaskId r1 = gb.add_task(task({acc(1, AccessMode::Read)}));
+  const TaskId r2 = gb.add_task(task({acc(1, AccessMode::Read)}));
+  const TaskId r3 = gb.add_task(task({acc(1, AccessMode::Read)}));
+  const TaskGraph g = gb.build();
+  EXPECT_FALSE(has_edge(g, r1, r2));
+  EXPECT_FALSE(has_edge(g, r2, r3));
+  EXPECT_TRUE(has_edge(g, w, r1));
+  EXPECT_TRUE(has_edge(g, w, r3));
+}
+
+TEST(Graph, WriterAfterReadersWaitsForAll) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  gb.add_task(task({acc(1, AccessMode::Write)}));
+  const TaskId r1 = gb.add_task(task({acc(1, AccessMode::Read)}));
+  const TaskId r2 = gb.add_task(task({acc(1, AccessMode::Read)}));
+  const TaskId w2 = gb.add_task(task({acc(1, AccessMode::Write)}));
+  const TaskGraph g = gb.build();
+  EXPECT_TRUE(has_edge(g, r1, w2));
+  EXPECT_TRUE(has_edge(g, r2, w2));
+}
+
+TEST(Graph, IndependentObjectsNoEdges) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  const TaskId t1 = gb.add_task(task({acc(1, AccessMode::Write)}));
+  const TaskId t2 = gb.add_task(task({acc(2, AccessMode::Write)}));
+  const TaskGraph g = gb.build();
+  EXPECT_FALSE(has_edge(g, t1, t2));
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, ChunkGranularDependences) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  const TaskId w0 = gb.add_task(task({acc(1, AccessMode::Write, 0)}));
+  const TaskId w1 = gb.add_task(task({acc(1, AccessMode::Write, 1)}));
+  const TaskId r0 = gb.add_task(task({acc(1, AccessMode::Read, 0)}));
+  const TaskGraph g = gb.build();
+  EXPECT_FALSE(has_edge(g, w0, w1));  // different chunks
+  EXPECT_TRUE(has_edge(g, w0, r0));
+  EXPECT_FALSE(has_edge(g, w1, r0));
+}
+
+TEST(Graph, WholeObjectConflictsWithChunks) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  const TaskId w0 = gb.add_task(task({acc(1, AccessMode::Write, 0)}));
+  const TaskId w1 = gb.add_task(task({acc(1, AccessMode::Write, 1)}));
+  const TaskId all = gb.add_task(task({acc(1, AccessMode::Read)}));
+  const TaskId w2 = gb.add_task(task({acc(1, AccessMode::Write, 1)}));
+  const TaskGraph g = gb.build();
+  EXPECT_TRUE(has_edge(g, w0, all));
+  EXPECT_TRUE(has_edge(g, w1, all));
+  EXPECT_TRUE(has_edge(g, all, w2));  // WAR through the whole-object read
+}
+
+TEST(Graph, GroupsDelimitTasks) {
+  GraphBuilder gb;
+  gb.begin_group("a");
+  gb.add_task(task({acc(1, AccessMode::Read)}));
+  gb.add_task(task({acc(1, AccessMode::Read)}));
+  gb.begin_group("b");
+  gb.add_task(task({acc(2, AccessMode::Read)}));
+  const TaskGraph g = gb.build();
+  ASSERT_EQ(g.num_groups(), 2u);
+  EXPECT_EQ(g.group(0).name, "a");
+  EXPECT_EQ(g.group(0).size(), 2u);
+  EXPECT_EQ(g.group(1).size(), 1u);
+  EXPECT_EQ(g.task(2).group, 1u);
+}
+
+TEST(Graph, ReferenceQueries) {
+  GraphBuilder gb;
+  gb.begin_group("g0");
+  gb.add_task(task({acc(1, AccessMode::Write)}));
+  gb.begin_group("g1");
+  gb.add_task(task({acc(2, AccessMode::Write)}));
+  gb.begin_group("g2");
+  gb.add_task(task({acc(1, AccessMode::Read)}));
+  const TaskGraph g = gb.build();
+
+  EXPECT_EQ(g.groups_referencing(1, kAllChunks),
+            (std::vector<GroupId>{0, 2}));
+  EXPECT_TRUE(g.group_references(1, 1, kAllChunks) == false);
+  EXPECT_TRUE(g.group_references(2, 1, kAllChunks));
+  ASSERT_TRUE(g.last_reference_before(1, kAllChunks, 2).has_value());
+  EXPECT_EQ(*g.last_reference_before(1, kAllChunks, 2), 0u);
+  EXPECT_FALSE(g.last_reference_before(2, kAllChunks, 1).has_value());
+}
+
+TEST(Graph, EdgesRespectProgramOrder) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  for (int i = 0; i < 20; ++i) {
+    gb.add_task(task({acc(static_cast<hms::ObjectId>(i % 3),
+                          i % 2 == 0 ? AccessMode::Write : AccessMode::Read)}));
+  }
+  const TaskGraph g = gb.build();
+  EXPECT_TRUE(g.edges_respect_program_order());
+}
+
+TEST(Graph, ContractViolations) {
+  GraphBuilder gb;
+  EXPECT_THROW(gb.add_task(task({acc(1, AccessMode::Read)})), ContractError);
+  GraphBuilder gb2;
+  EXPECT_THROW(gb2.build(), ContractError);
+}
+
+}  // namespace
+}  // namespace tahoe::task

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/initial_placement.hpp"
+
+namespace tahoe::core {
+namespace {
+
+TEST(InitialPlacement, PicksLargestEstimatesWithinCapacity) {
+  std::vector<ObjectInfo> objects{
+      ObjectInfo{1, "hot", {64 * kMiB}, 1e9},
+      ObjectInfo{2, "warm", {64 * kMiB}, 1e6},
+      ObjectInfo{3, "cold", {64 * kMiB}, 1e3},
+  };
+  const auto chosen = choose_initial_dram(objects, 128 * kMiB);
+  ASSERT_EQ(chosen.size(), 2u);
+  EXPECT_EQ(chosen[0].object, 1u);
+  EXPECT_EQ(chosen[1].object, 2u);
+}
+
+TEST(InitialPlacement, SkipsStaticallyUnknownObjects) {
+  std::vector<ObjectInfo> objects{
+      ObjectInfo{1, "unknown", {16 * kMiB}, 0.0},
+      ObjectInfo{2, "known", {16 * kMiB}, 10.0},
+  };
+  const auto chosen = choose_initial_dram(objects, 64 * kMiB);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0].object, 2u);
+}
+
+TEST(InitialPlacement, ChunkedObjectsPlacePerChunk) {
+  std::vector<ObjectInfo> objects{
+      ObjectInfo{1, "chunked", {64 * kMiB, 64 * kMiB, 64 * kMiB}, 3e9},
+  };
+  // Only two chunks fit.
+  const auto chosen = choose_initial_dram(objects, 128 * kMiB);
+  EXPECT_EQ(chosen.size(), 2u);
+  for (const UnitKey& u : chosen) EXPECT_EQ(u.object, 1u);
+}
+
+TEST(InitialPlacement, EmptyWhenNothingFits) {
+  std::vector<ObjectInfo> objects{
+      ObjectInfo{1, "big", {1 * kGiB}, 1e9},
+  };
+  EXPECT_TRUE(choose_initial_dram(objects, 64 * kMiB).empty());
+}
+
+TEST(InitialPlacement, NoObjectsNoChoice) {
+  EXPECT_TRUE(choose_initial_dram({}, 64 * kMiB).empty());
+}
+
+}  // namespace
+}  // namespace tahoe::core

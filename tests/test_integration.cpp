@@ -1,0 +1,175 @@
+// End-to-end integration: the paper's headline claims on the full stack.
+#include <gtest/gtest.h>
+
+#include "baselines/xmem.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "core/calibration.hpp"
+#include "core/planner.hpp"
+#include "core/runtime.hpp"
+#include "workloads/common.hpp"
+
+namespace tahoe {
+namespace {
+
+core::RuntimeConfig sim_config(memsim::DeviceModel nvm,
+                               std::uint64_t dram = 64 * kMiB) {
+  core::RuntimeConfig c;
+  c.machine = memsim::machines::platform_a(std::move(nvm), dram);
+  c.backing = hms::Backing::Virtual;
+  return c;
+}
+
+memsim::DeviceModel half_bw(std::uint64_t dram = 64 * kMiB) {
+  return memsim::devices::nvm_bw_fraction(memsim::devices::dram(dram), 0.5,
+                                          4 * kGiB);
+}
+
+struct GapResult {
+  double dram;
+  double nvm;
+  double tahoe;
+  double xmem;
+};
+
+GapResult run_workload(const std::string& name,
+                       const core::RuntimeConfig& config) {
+  core::Runtime rt(config);
+  GapResult out{};
+  {
+    auto app = workloads::make_workload(name, workloads::Scale::Test);
+    out.dram = rt.run_static(*app, memsim::kDram).steady_iteration_seconds();
+  }
+  {
+    auto app = workloads::make_workload(name, workloads::Scale::Test);
+    out.nvm = rt.run_static(*app, memsim::kNvm).steady_iteration_seconds();
+  }
+  {
+    auto app = workloads::make_workload(name, workloads::Scale::Test);
+    core::TahoePolicy policy(core::calibrate(rt.machine()).to_constants());
+    out.tahoe = rt.run(*app, policy).steady_iteration_seconds();
+  }
+  {
+    auto app = workloads::make_workload(name, workloads::Scale::Test);
+    baselines::XMemPolicy xmem;
+    out.xmem = rt.run(*app, xmem).steady_iteration_seconds();
+  }
+  return out;
+}
+
+TEST(Integration, TahoeNarrowsTheGapAcrossTheSuite) {
+  // The paper's headline: the DRAM/NVM gap shrinks substantially under
+  // the runtime, across all workloads (geometric mean of the recovered
+  // fraction >= 50%).
+  std::vector<double> recovered;
+  for (const std::string& name : workloads::workload_names()) {
+    const GapResult r = run_workload(name, sim_config(half_bw()));
+    ASSERT_GT(r.nvm, r.dram) << name;
+    const double gap = r.nvm - r.dram;
+    const double closed = r.nvm - r.tahoe;
+    recovered.push_back(std::max(closed / gap, 0.01));
+    // Tahoe never loses to NVM-only by more than noise.
+    EXPECT_LT(r.tahoe, r.nvm * 1.02) << name;
+  }
+  EXPECT_GE(geomean_of(recovered), 0.5);
+}
+
+TEST(Integration, TahoeCompetitiveWithXmemEverywhere) {
+  double tahoe_total = 0.0;
+  double xmem_total = 0.0;
+  for (const std::string& name : workloads::workload_names()) {
+    const GapResult r = run_workload(name, sim_config(half_bw()));
+    tahoe_total += r.tahoe;
+    xmem_total += r.xmem;
+    EXPECT_LT(r.tahoe, r.xmem * 1.15) << name;  // never much worse
+  }
+  EXPECT_LE(tahoe_total, xmem_total * 1.05);  // at least on par overall
+}
+
+TEST(Integration, LatencyConfigurationAlsoRecovers) {
+  const auto nvm = memsim::devices::nvm_lat_multiple(
+      memsim::devices::dram(64 * kMiB), 4.0, 4 * kGiB);
+  std::vector<double> recovered;
+  // The latency-sensitive workloads: gathers (cg) and line recurrences
+  // (sp, bt). Pure streams are latency-insensitive by design.
+  for (const std::string& name : {std::string("cg"), std::string("sp"),
+                                  std::string("bt")}) {
+    const GapResult r = run_workload(name, sim_config(nvm));
+    ASSERT_GT(r.nvm, r.dram) << name;
+    recovered.push_back(
+        std::max((r.nvm - r.tahoe) / (r.nvm - r.dram), 0.01));
+  }
+  EXPECT_GE(geomean_of(recovered), 0.4);
+}
+
+TEST(Integration, MigrationStatsWithinPaperEnvelope) {
+  // Table-5 shape: small pure-runtime cost, meaningful overlap.
+  core::Runtime rt(sim_config(half_bw()));
+  for (const std::string& name : workloads::workload_names()) {
+    auto app = workloads::make_workload(name, workloads::Scale::Test);
+    core::TahoePolicy policy(core::calibrate(rt.machine()).to_constants());
+    const core::RunReport r = rt.run(*app, policy);
+    // At Test scale the simulated iterations are microseconds while the
+    // (real, measured) one-off decision time is fixed, so the paper's
+    // <=3% total holds only at Bench scale (checked by
+    // bench_migration_stats). Here: the recurring overheads (sampling +
+    // phase-boundary sync) must be a small fraction, and the one-off
+    // decision must be bounded in absolute terms.
+    // Recurring cost is a fixed few microseconds per phase boundary plus
+    // sampling: bounded in absolute terms at this scale (its *fraction*
+    // of Bench-scale runs is what bench_migration_stats checks).
+    const double recurring = r.overhead_seconds - r.decision_seconds;
+    EXPECT_LT(recurring, 5e-3) << name;
+    EXPECT_LT(r.decision_seconds, 0.10) << name;
+    if (r.migrations > 0) {
+      EXPECT_GT(r.bytes_moved, 0u) << name;
+    }
+  }
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  auto once = []() {
+    core::Runtime rt(sim_config(half_bw()));
+    auto app = workloads::make_workload("cg", workloads::Scale::Test);
+    core::TahoePolicy policy(core::calibrate(rt.machine()).to_constants());
+    return rt.run(*app, policy);
+  };
+  const core::RunReport a = once();
+  const core::RunReport b = once();
+  ASSERT_EQ(a.iteration_seconds.size(), b.iteration_seconds.size());
+  for (std::size_t i = 0; i < a.iteration_seconds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.iteration_seconds[i], b.iteration_seconds[i]);
+  }
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.strategy, b.strategy);
+}
+
+TEST(Integration, ReadWriteDistinctionHelpsOnOptane) {
+  core::RuntimeConfig c;
+  c.machine = memsim::machines::optane_platform(64 * kMiB);
+  c.backing = hms::Backing::Virtual;
+  core::Runtime rt(c);
+  const core::ModelConstants mc =
+      core::calibrate(rt.machine()).to_constants();
+  double with_total = 0.0;
+  double without_total = 0.0;
+  for (const std::string& name : workloads::workload_names()) {
+    auto app1 = workloads::make_workload(name, workloads::Scale::Test);
+    core::TahoeOptions w;
+    w.distinguish_rw = true;
+    core::TahoePolicy pw(mc, w);
+    with_total += rt.run(*app1, pw).steady_iteration_seconds();
+
+    auto app2 = workloads::make_workload(name, workloads::Scale::Test);
+    core::TahoeOptions wo;
+    wo.distinguish_rw = false;
+    core::TahoePolicy pwo(mc, wo);
+    without_total += rt.run(*app2, pwo).steady_iteration_seconds();
+  }
+  // Modeling Optane's asymmetric read/write must not hurt, and should
+  // help in aggregate.
+  EXPECT_LE(with_total, without_total * 1.01);
+}
+
+}  // namespace
+}  // namespace tahoe

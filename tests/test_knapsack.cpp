@@ -1,0 +1,113 @@
+// Knapsack solvers: DP vs exhaustive oracle property tests.
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/knapsack.hpp"
+
+namespace tahoe::core {
+namespace {
+
+TEST(Knapsack, PicksBestSimpleCase) {
+  const std::vector<KnapsackItem> items{
+      {60, 10.0}, {100, 20.0}, {120, 30.0}};
+  const KnapsackResult r = solve(items, 220, 2048);
+  // Optimal: items 1+2 (value 50, size 220).
+  EXPECT_DOUBLE_EQ(r.total_value, 50.0);
+  EXPECT_EQ(r.chosen, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Knapsack, SkipsNonPositiveAndOversized) {
+  const std::vector<KnapsackItem> items{
+      {10, -5.0}, {10, 0.0}, {1000, 99.0}, {10, 1.0}};
+  const KnapsackResult r = solve(items, 100, 2048);
+  EXPECT_EQ(r.chosen, (std::vector<std::size_t>{3}));
+  EXPECT_DOUBLE_EQ(r.total_value, 1.0);
+}
+
+TEST(Knapsack, EmptyInputsAndZeroCapacity) {
+  EXPECT_TRUE(solve({}, 100).chosen.empty());
+  const std::vector<KnapsackItem> items{{10, 1.0}};
+  EXPECT_TRUE(solve(items, 0).chosen.empty());
+}
+
+TEST(Knapsack, NeverExceedsCapacityUnderCoarseGrid) {
+  // The grid rounds sizes *up*, so even a coarse grid stays feasible.
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < 12; ++i) {
+      items.push_back(KnapsackItem{rng.next_below(1000) + 1,
+                                   rng.next_double() * 10.0});
+    }
+    const std::uint64_t cap = rng.next_below(3000) + 100;
+    const KnapsackResult r = solve(items, cap, 16);  // very coarse
+    EXPECT_LE(r.total_size, cap);
+  }
+}
+
+TEST(Knapsack, DpMatchesOracleOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<KnapsackItem> items;
+    const std::size_t n = 3 + rng.next_below(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      items.push_back(KnapsackItem{rng.next_below(500) + 1,
+                                   (rng.next_double() - 0.2) * 20.0});
+    }
+    const std::uint64_t cap = rng.next_below(1500) + 200;
+    const KnapsackResult dp = solve(items, cap, 4096);
+    const KnapsackResult oracle = solve_exact(items, cap);
+    // Fine grid (4096 on cap <= 1700 -> granule 1): exact match expected.
+    EXPECT_NEAR(dp.total_value, oracle.total_value, 1e-9)
+        << "trial " << trial;
+    EXPECT_LE(dp.total_size, cap);
+  }
+}
+
+TEST(Knapsack, GreedyFeasibleAndDecent) {
+  Rng rng(21);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < 15; ++i) {
+      items.push_back(KnapsackItem{rng.next_below(400) + 1,
+                                   rng.next_double() * 5.0});
+    }
+    const std::uint64_t cap = 800;
+    const KnapsackResult greedy = solve_greedy(items, cap);
+    const KnapsackResult oracle = solve_exact(items, cap);
+    EXPECT_LE(greedy.total_size, cap);
+    EXPECT_LE(greedy.total_value, oracle.total_value + 1e-9);
+    // Density greedy is a decent approximation on random instances.
+    EXPECT_GE(greedy.total_value, 0.5 * oracle.total_value - 1e-9);
+  }
+}
+
+TEST(Knapsack, LargeInstanceRunsFast) {
+  Rng rng(5);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 500; ++i) {
+    items.push_back(
+        KnapsackItem{(rng.next_below(1u << 26)) + 1, rng.next_double()});
+  }
+  const KnapsackResult r = solve(items, 1ULL << 28, 2048);
+  EXPECT_LE(r.total_size, 1ULL << 28);
+  EXPECT_GT(r.chosen.size(), 0u);
+}
+
+TEST(Knapsack, OracleRejectsHugeInstances) {
+  std::vector<KnapsackItem> items(30, KnapsackItem{1, 1.0});
+  EXPECT_THROW(solve_exact(items, 10), ContractError);
+}
+
+TEST(Knapsack, DeterministicTieBreaks) {
+  const std::vector<KnapsackItem> items{{50, 5.0}, {50, 5.0}, {50, 5.0}};
+  const KnapsackResult a = solve(items, 100, 2048);
+  const KnapsackResult b = solve(items, 100, 2048);
+  EXPECT_EQ(a.chosen, b.chosen);
+  EXPECT_EQ(a.chosen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tahoe::core

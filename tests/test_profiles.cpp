@@ -1,0 +1,129 @@
+// Online profiler: sampling accumulation across iterations.
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/profiles.hpp"
+#include "memsim/machine.hpp"
+
+namespace tahoe::core {
+namespace {
+
+memsim::Machine machine() {
+  return memsim::machines::platform_a(
+      memsim::devices::nvm_bw_fraction(memsim::devices::dram(256 * kMiB), 0.5,
+                                       16 * kGiB),
+      256 * kMiB);
+}
+
+task::TaskGraph two_group_graph() {
+  task::GraphBuilder gb;
+  gb.begin_group("a");
+  {
+    task::Task t;
+    task::DataAccess a;
+    a.object = 1;
+    a.chunk = 0;
+    a.mode = task::AccessMode::Read;
+    a.traffic.loads = 10'000'000;
+    a.traffic.footprint = 64 * kMiB;
+    t.accesses = {a};
+    gb.add_task(std::move(t));
+  }
+  gb.begin_group("b");
+  {
+    task::Task t;
+    task::DataAccess a;
+    a.object = 2;
+    a.chunk = 1;
+    a.mode = task::AccessMode::ReadWrite;
+    a.traffic.loads = 4'000'000;
+    a.traffic.stores = 2'000'000;
+    a.traffic.footprint = 32 * kMiB;
+    t.accesses = {a};
+    gb.add_task(std::move(t));
+  }
+  return gb.build();
+}
+
+task::SimReport fake_report(const task::TaskGraph& g) {
+  task::SimReport r;
+  r.group_seconds = {0.25, 0.50};
+  r.group_start = {0.0, 0.25};
+  r.task_seconds.assign(g.num_tasks(), 0.25);
+  r.makespan = 0.75;
+  return r;
+}
+
+TEST(Profiler, AccumulatesPerUnitCounts) {
+  const task::TaskGraph g = two_group_graph();
+  const memsim::Machine m = machine();
+  Profiler prof(memsim::Sampler(m.sample_interval, m.cpu_hz, m.seed));
+  prof.observe(g, fake_report(g));
+  prof.observe(g, fake_report(g));
+
+  const PhaseProfiles& p = prof.profiles();
+  EXPECT_EQ(p.iterations_profiled, 2u);
+  ASSERT_EQ(p.groups.size(), 2u);
+  // Group durations average back to the per-iteration values.
+  EXPECT_NEAR(p.group_duration(0), 0.25, 1e-12);
+  EXPECT_NEAR(p.group_duration(1), 0.50, 1e-12);
+
+  const auto& ga = p.groups[0].units;
+  ASSERT_EQ(ga.size(), 1u);
+  const auto& [key_a, counts_a] = *ga.begin();
+  EXPECT_EQ(key_a.object, 1u);
+  EXPECT_EQ(key_a.chunk, 0u);
+  // Two iterations of 10M loads sampled at 1/1000: ~20k events.
+  EXPECT_NEAR(static_cast<double>(counts_a.loads), 20'000.0, 2'000.0);
+  EXPECT_EQ(counts_a.stores, 0u);
+
+  const auto& gb_units = p.groups[1].units;
+  const auto& [key_b, counts_b] = *gb_units.begin();
+  EXPECT_EQ(key_b.object, 2u);
+  EXPECT_EQ(key_b.chunk, 1u);
+  EXPECT_GT(counts_b.stores, 0u);
+  EXPECT_GT(counts_b.loads, counts_b.stores);
+}
+
+TEST(Profiler, SamplesTakenTracksOverheadBase) {
+  const task::TaskGraph g = two_group_graph();
+  const memsim::Machine m = machine();
+  Profiler prof(memsim::Sampler(m.sample_interval, m.cpu_hz, m.seed));
+  EXPECT_EQ(prof.samples_taken(), 0u);
+  prof.observe(g, fake_report(g));
+  const std::uint64_t after_one = prof.samples_taken();
+  EXPECT_GT(after_one, 0u);
+  prof.observe(g, fake_report(g));
+  EXPECT_GT(prof.samples_taken(), after_one);
+}
+
+TEST(Profiler, ResetClearsEverything) {
+  const task::TaskGraph g = two_group_graph();
+  const memsim::Machine m = machine();
+  Profiler prof(memsim::Sampler(m.sample_interval, m.cpu_hz, m.seed));
+  prof.observe(g, fake_report(g));
+  prof.reset();
+  EXPECT_EQ(prof.profiles().iterations_profiled, 0u);
+  EXPECT_TRUE(prof.profiles().groups.empty());
+}
+
+TEST(Profiler, MismatchedReportRejected) {
+  const task::TaskGraph g = two_group_graph();
+  const memsim::Machine m = machine();
+  Profiler prof(memsim::Sampler(m.sample_interval, m.cpu_hz, m.seed));
+  task::SimReport bad = fake_report(g);
+  bad.task_seconds.pop_back();
+  EXPECT_THROW(prof.observe(g, bad), ContractError);
+}
+
+TEST(PhaseProfiles, GroupDurationGuards) {
+  PhaseProfiles p;
+  p.groups.resize(1);
+  EXPECT_DOUBLE_EQ(p.group_duration(0), 0.0);  // nothing profiled yet
+  EXPECT_THROW(p.group_duration(5), ContractError);
+}
+
+}  // namespace
+}  // namespace tahoe::core

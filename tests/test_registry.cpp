@@ -1,0 +1,140 @@
+// Object registry: allocation, typed handles, migration with pointer
+// redirection and alias rewriting.
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/units.hpp"
+#include "hms/registry.hpp"
+
+namespace tahoe::hms {
+namespace {
+
+std::vector<std::uint64_t> caps() { return {1 * kMiB, 64 * kMiB}; }
+
+TEST(Registry, CreateAndTypedHandle) {
+  ObjectRegistry reg(caps());
+  Handle<double> h = make_array<double>(reg, "v", 1000, memsim::kNvm);
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(h.size(), 1000u);
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(h[999], 999.0);
+  EXPECT_EQ(reg.get(h.id()).device(), memsim::kNvm);
+  EXPECT_EQ(reg.num_objects(), 1u);
+}
+
+TEST(Registry, MigrationPreservesPayloadAndRedirects) {
+  ObjectRegistry reg(caps());
+  Handle<int> h = make_array<int>(reg, "v", 4096, memsim::kNvm);
+  std::iota(h.data(), h.data() + h.size(), 17);
+  const int* before = h.data();
+  ASSERT_TRUE(reg.migrate(h.id(), memsim::kDram));
+  const int* after = h.data();
+  EXPECT_NE(before, after);
+  EXPECT_EQ(reg.get(h.id()).device(), memsim::kDram);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    ASSERT_EQ(h[i], static_cast<int>(i) + 17);
+  }
+  EXPECT_EQ(reg.stats().migrations, 1u);
+  EXPECT_EQ(reg.stats().bytes_moved, 4096 * sizeof(int));
+  EXPECT_EQ(reg.stats().to_dram, 1u);
+}
+
+TEST(Registry, MigrationToSameTierIsNoop) {
+  ObjectRegistry reg(caps());
+  const ObjectId id = reg.create("v", 4096, memsim::kNvm);
+  EXPECT_TRUE(reg.migrate(id, memsim::kNvm));
+  EXPECT_EQ(reg.stats().migrations, 0u);
+}
+
+TEST(Registry, MigrationFailsWhenTierFull) {
+  ObjectRegistry reg(caps());
+  const ObjectId big = reg.create("big", 900 * kKiB, memsim::kNvm);
+  const ObjectId blocker = reg.create("blocker", 512 * kKiB, memsim::kDram);
+  (void)blocker;
+  EXPECT_FALSE(reg.migrate(big, memsim::kDram));
+  EXPECT_EQ(reg.get(big).device(), memsim::kNvm);  // untouched
+  EXPECT_EQ(reg.stats().failed_no_space, 1u);
+}
+
+TEST(Registry, AliasSlotsRewrittenOnMigration) {
+  ObjectRegistry reg(caps());
+  const ObjectId id = reg.create("v", 4096, memsim::kNvm);
+  void* alias1 = nullptr;
+  void* alias2 = nullptr;
+  reg.register_alias(id, &alias1);
+  reg.register_alias(id, &alias2);
+  EXPECT_EQ(alias1, reg.chunk_ptr(id));
+  ASSERT_TRUE(reg.migrate(id, memsim::kDram));
+  EXPECT_EQ(alias1, reg.chunk_ptr(id));
+  EXPECT_EQ(alias2, reg.chunk_ptr(id));
+}
+
+TEST(Registry, ChunkedObjectsMigratePerChunk) {
+  ObjectRegistry reg(caps());
+  const ObjectId id = reg.create("c", 256 * kKiB, memsim::kNvm, 4);
+  EXPECT_EQ(reg.get(id).num_chunks(), 4u);
+  EXPECT_TRUE(reg.get(id).chunked());
+  ASSERT_TRUE(reg.migrate_chunk(id, 2, memsim::kDram));
+  EXPECT_EQ(reg.get(id).chunks[2].device, memsim::kDram);
+  EXPECT_EQ(reg.get(id).chunks[1].device, memsim::kNvm);
+  EXPECT_EQ(reg.get(id).bytes_on(memsim::kDram), 64 * kKiB);
+  EXPECT_EQ(reg.get(id).bytes_on(memsim::kNvm), 192 * kKiB);
+  // device() is only defined for unchunked objects.
+  EXPECT_THROW(reg.get(id).device(), ContractError);
+  // Aliases are unsupported for chunked objects.
+  void* slot = nullptr;
+  EXPECT_THROW(reg.register_alias(id, &slot), ContractError);
+}
+
+TEST(Registry, ChunkSizesCoverObjectExactly) {
+  ObjectRegistry reg(caps());
+  const ObjectId id = reg.create("c", 1000 * 64, memsim::kNvm, 7);
+  std::uint64_t total = 0;
+  for (const Chunk& c : reg.get(id).chunks) total += c.bytes;
+  EXPECT_EQ(total, 1000u * 64u);
+}
+
+TEST(Registry, DestroyReleasesSpace) {
+  ObjectRegistry reg(caps());
+  const ObjectId id = reg.create("v", 512 * kKiB, memsim::kDram);
+  EXPECT_EQ(reg.resident_bytes(memsim::kDram), 512 * kKiB);
+  reg.destroy(id);
+  EXPECT_EQ(reg.resident_bytes(memsim::kDram), 0u);
+  EXPECT_EQ(reg.num_objects(), 0u);
+  EXPECT_THROW(reg.get(id), ContractError);
+}
+
+TEST(Registry, VirtualBackingSkipsPayload) {
+  ObjectRegistry reg({1 * kGiB, 16 * kGiB}, Backing::Virtual);
+  const ObjectId id = reg.create("huge", 8 * kGiB, memsim::kNvm, 8);
+  EXPECT_EQ(reg.get(id).bytes, 8 * kGiB);
+  ASSERT_TRUE(reg.migrate_chunk(id, 0, memsim::kDram));  // no real memcpy
+  EXPECT_EQ(reg.get(id).chunks[0].device, memsim::kDram);
+  EXPECT_EQ(reg.stats().bytes_moved, 1 * kGiB);
+}
+
+TEST(Registry, LiveObjectsEnumeration) {
+  ObjectRegistry reg(caps());
+  const ObjectId a = reg.create("a", 64, memsim::kNvm);
+  const ObjectId b = reg.create("b", 64, memsim::kNvm);
+  const ObjectId c = reg.create("c", 64, memsim::kNvm);
+  reg.destroy(b);
+  const auto live = reg.live_objects();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0], a);
+  EXPECT_EQ(live[1], c);
+}
+
+TEST(Registry, ContractViolations) {
+  EXPECT_THROW(ObjectRegistry({1 * kMiB}), ContractError);  // one tier
+  ObjectRegistry reg(caps());
+  EXPECT_THROW(reg.create("v", 0, memsim::kNvm), ContractError);
+  EXPECT_THROW(reg.create("v", 64, 9), ContractError);
+  EXPECT_THROW(reg.create("v", 2 * kMiB, memsim::kDram), ContractError);
+}
+
+}  // namespace
+}  // namespace tahoe::hms

@@ -1,0 +1,117 @@
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tahoe {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_THROW(r.next_below(0), ContractError);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng r(99);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[r.next_below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng r(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BinomialMeanAndBounds) {
+  Rng r(11);
+  const std::uint64_t n = 1'000'000;
+  const double p = 0.001;
+  double sum = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t k = r.binomial(n, p);
+    EXPECT_LE(k, n);
+    sum += static_cast<double>(k);
+  }
+  const double mean = sum / trials;
+  const double expect = static_cast<double>(n) * p;  // 1000
+  EXPECT_NEAR(mean, expect, expect * 0.05);
+}
+
+TEST(Rng, BinomialSmallNExact) {
+  Rng r(13);
+  EXPECT_EQ(r.binomial(0, 0.5), 0u);
+  EXPECT_EQ(r.binomial(100, 0.0), 0u);
+  EXPECT_EQ(r.binomial(100, 1.0), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(r.binomial(10, 0.3), 10u);
+  }
+  EXPECT_THROW(r.binomial(10, 1.5), ContractError);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(SplitMix, ExpandsSeedsDeterministically) {
+  SplitMix64 a(0);
+  SplitMix64 b(0);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), SplitMix64(1).next());
+}
+
+}  // namespace
+}  // namespace tahoe

@@ -1,0 +1,88 @@
+// Sampling-counter emulation: the planner's only window into traffic.
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "memsim/sampler.hpp"
+
+namespace tahoe::memsim {
+namespace {
+
+ObjectTraffic traffic(std::uint64_t loads, std::uint64_t stores) {
+  ObjectTraffic t;
+  t.loads = loads;
+  t.stores = stores;
+  t.footprint = 1 << 20;
+  return t;
+}
+
+TEST(Sampler, ScaledEstimateApproximatesTruth) {
+  Sampler s(1000, 2.4e9, 7);
+  const std::uint64_t truth = 50'000'000;
+  const SampledCounts c = s.sample(traffic(truth, truth / 2), 0.5);
+  EXPECT_NEAR(c.est_loads(1000), static_cast<double>(truth),
+              static_cast<double>(truth) * 0.05);
+  EXPECT_NEAR(c.est_stores(1000), static_cast<double>(truth) / 2.0,
+              static_cast<double>(truth) * 0.05);
+}
+
+TEST(Sampler, SampleCountsAreSubsampled) {
+  Sampler s(1000, 2.4e9, 7);
+  const SampledCounts c = s.sample(traffic(10'000'000, 0), 0.1);
+  // ~1/1000 of the true count is captured.
+  EXPECT_GT(c.loads, 8'000u);
+  EXPECT_LT(c.loads, 12'000u);
+  EXPECT_EQ(c.stores, 0u);
+}
+
+TEST(Sampler, TotalSamplesFromDurationAndClock) {
+  Sampler s(1000, 1e9, 7);
+  const SampledCounts c = s.sample(traffic(1'000'000, 0), 0.01);
+  // 0.01 s at 1 GHz = 1e7 cycles -> 1e4 samples.
+  EXPECT_EQ(c.total_samples, 10'000u);
+}
+
+TEST(Sampler, ActiveFractionSaturatesForDenseStreams) {
+  Sampler s(1000, 1e9, 7);
+  // 1e8 accesses over 1e8 cycles: every window contains accesses.
+  const SampledCounts c = s.sample(traffic(100'000'000, 0), 0.1);
+  EXPECT_GT(c.active_fraction(), 0.95);
+}
+
+TEST(Sampler, ActiveFractionSmallForSparseStreams) {
+  Sampler s(1000, 1e9, 7);
+  // 1000 accesses over 1e8 cycles: most windows are empty.
+  const SampledCounts c = s.sample(traffic(1000, 0), 0.1);
+  EXPECT_LT(c.active_fraction(), 0.05);
+}
+
+TEST(Sampler, ZeroDurationYieldsNothing) {
+  Sampler s(1000, 1e9, 7);
+  const SampledCounts c = s.sample(traffic(1000, 1000), 0.0);
+  EXPECT_EQ(c.total_samples, 0u);
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_DOUBLE_EQ(c.active_fraction(), 0.0);
+}
+
+TEST(Sampler, DeterministicGivenSeed) {
+  Sampler a(1000, 2.4e9, 99);
+  Sampler b(1000, 2.4e9, 99);
+  const ObjectTraffic t = traffic(5'000'000, 1'000'000);
+  for (int i = 0; i < 5; ++i) {
+    const SampledCounts ca = a.sample(t, 0.05);
+    const SampledCounts cb = b.sample(t, 0.05);
+    EXPECT_EQ(ca.loads, cb.loads);
+    EXPECT_EQ(ca.stores, cb.stores);
+    EXPECT_EQ(ca.samples_with_access, cb.samples_with_access);
+  }
+}
+
+TEST(Sampler, RejectsBadConfig) {
+  EXPECT_THROW(Sampler(0, 1e9, 1), ContractError);
+  EXPECT_THROW(Sampler(1000, 0.0, 1), ContractError);
+  Sampler s(1000, 1e9, 1);
+  EXPECT_THROW(s.sample(traffic(1, 0), -1.0), ContractError);
+}
+
+}  // namespace
+}  // namespace tahoe::memsim

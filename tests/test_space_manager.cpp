@@ -1,0 +1,95 @@
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "hms/space_manager.hpp"
+
+namespace tahoe::hms {
+namespace {
+
+TEST(SpaceManager, AddRemoveAccounting) {
+  SpaceManager sm(1 * kMiB);
+  EXPECT_TRUE(sm.add(1, 0, 256 * kKiB));
+  EXPECT_TRUE(sm.add(2, 0, 512 * kKiB));
+  EXPECT_EQ(sm.used(), 768 * kKiB);
+  EXPECT_TRUE(sm.resident(1));
+  EXPECT_FALSE(sm.resident(3));
+  EXPECT_EQ(sm.remove(1, 0), 256 * kKiB);
+  EXPECT_EQ(sm.used(), 512 * kKiB);
+  EXPECT_EQ(sm.remove(1, 0), 0u);  // idempotent
+}
+
+TEST(SpaceManager, AddIsIdempotentAndCapacityChecked) {
+  SpaceManager sm(1 * kMiB);
+  EXPECT_TRUE(sm.add(1, 0, 768 * kKiB));
+  EXPECT_TRUE(sm.add(1, 0, 768 * kKiB));  // already resident
+  EXPECT_EQ(sm.used(), 768 * kKiB);
+  EXPECT_FALSE(sm.add(2, 0, 512 * kKiB));  // does not fit
+  EXPECT_FALSE(sm.resident(2));
+}
+
+TEST(SpaceManager, ChunksAreIndependentUnits) {
+  SpaceManager sm(1 * kMiB);
+  EXPECT_TRUE(sm.add(1, 0, 128 * kKiB));
+  EXPECT_TRUE(sm.add(1, 3, 128 * kKiB));
+  EXPECT_TRUE(sm.resident(1, 0));
+  EXPECT_FALSE(sm.resident(1, 1));
+  EXPECT_TRUE(sm.resident(1, 3));
+}
+
+TEST(SpaceManager, PickVictimsEmptyWhenItFits) {
+  SpaceManager sm(1 * kMiB);
+  (void)sm.add(1, 0, 256 * kKiB);
+  EXPECT_TRUE(sm.pick_victims(512 * kKiB).empty());
+}
+
+TEST(SpaceManager, PickVictimsPrefersSmallestSufficient) {
+  SpaceManager sm(1 * kMiB);
+  (void)sm.add(1, 0, 512 * kKiB);  // big
+  (void)sm.add(2, 0, 256 * kKiB);  // just enough for a 256 KiB request
+  (void)sm.add(3, 0, 256 * kKiB);
+  const auto victims = sm.pick_victims(128 * kKiB);
+  ASSERT_EQ(victims.size(), 1u);
+  // Smallest single unit freeing >= 128 KiB is a 256 KiB one.
+  EXPECT_EQ(victims[0].second, 0u);
+  EXPECT_TRUE(victims[0].first == 2 || victims[0].first == 3);
+}
+
+TEST(SpaceManager, PickVictimsAccumulatesWhenNoSingleSuffices) {
+  SpaceManager sm(1 * kMiB);
+  (void)sm.add(1, 0, 256 * kKiB);
+  (void)sm.add(2, 0, 256 * kKiB);
+  (void)sm.add(3, 0, 256 * kKiB);
+  (void)sm.add(4, 0, 256 * kKiB);
+  const auto victims = sm.pick_victims(640 * kKiB);
+  // Needs 640 KiB; largest-first eviction: 3 units of 256 KiB.
+  EXPECT_EQ(victims.size(), 3u);
+}
+
+TEST(SpaceManager, PinnedUnitsNeverChosen) {
+  SpaceManager sm(512 * kKiB);
+  (void)sm.add(1, 0, 256 * kKiB);
+  (void)sm.add(2, 0, 256 * kKiB);
+  const auto victims =
+      sm.pick_victims(256 * kKiB, {{1, 0}});
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0].first, 2u);
+  // Everything pinned: impossible.
+  EXPECT_TRUE(sm.pick_victims(256 * kKiB, {{1, 0}, {2, 0}}).empty());
+}
+
+TEST(SpaceManager, OversizedRequestHopeless) {
+  SpaceManager sm(1 * kMiB);
+  (void)sm.add(1, 0, 512 * kKiB);
+  EXPECT_TRUE(sm.pick_victims(2 * kMiB).empty());
+}
+
+TEST(SpaceManager, ContractViolations) {
+  EXPECT_THROW(SpaceManager(0), ContractError);
+  SpaceManager sm(64);
+  EXPECT_THROW(sm.add(1, 0, 0), ContractError);
+}
+
+}  // namespace
+}  // namespace tahoe::hms

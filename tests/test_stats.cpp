@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+
+namespace tahoe {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i));
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), ContractError);
+  EXPECT_THROW(percentile({1.0}, 1.5), ContractError);
+}
+
+TEST(Means, ArithmeticAndGeometric) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_NEAR(geomean_of({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+  EXPECT_THROW(geomean_of({1.0, -1.0}), ContractError);
+}
+
+TEST(RelDiff, SymmetricAndScaled) {
+  EXPECT_NEAR(rel_diff(100.0, 110.0), 10.0 / 110.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rel_diff(5.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace tahoe

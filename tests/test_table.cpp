@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace tahoe {
+namespace {
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t({"workload", "dram", "nvm"});
+  t.add_row({"cg", "1.00", "1.25"});
+  t.add_row({"ft", "1.00", "1.09"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("workload"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("ft"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"x", "1"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(Table, ArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+  EXPECT_THROW(Table({}), ContractError);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(0.5), "0.50");
+}
+
+TEST(Table, ColumnsPadToWidestCell) {
+  Table t({"n", "value"});
+  t.add_row({"verylongname", "1"});
+  t.add_row({"x", "2"});
+  std::istringstream is(t.to_string());
+  std::string header;
+  std::string sep;
+  std::string row1;
+  std::string row2;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_EQ(row1.size(), row2.size());
+}
+
+}  // namespace
+}  // namespace tahoe
