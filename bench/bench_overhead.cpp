@@ -13,6 +13,8 @@
 #include "memsim/fluid.hpp"
 #include "memsim/sampler.hpp"
 #include "task/graph.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -108,6 +110,41 @@ void BM_Calibration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Calibration);
+
+// The tracing hot path, both ways. Disabled must be a single relaxed load
+// (the state every bench run is in); enabled is one wait-free ring push.
+void BM_TraceEmitDisabled(benchmark::State& state) {
+  trace::Tracer tracer;
+  tracer.set_enabled(false);
+  for (auto _ : state) {
+    if (tracer.enabled()) {
+      tracer.complete(0, "task", 0.0, 1e-6, "id", 1);
+    }
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceEmitDisabled);
+
+void BM_TraceEmitEnabled(benchmark::State& state) {
+  trace::Tracer tracer;
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    tracer.complete(0, "task", 0.0, 1e-6, "id", 1);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmitEnabled);
+
+void BM_CounterAdd(benchmark::State& state) {
+  trace::CounterRegistry registry;
+  trace::Counter& c = registry.get("bench.counter");
+  for (auto _ : state) {
+    c.increment();
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_CounterAdd);
 
 }  // namespace
 

@@ -1,11 +1,16 @@
 #include "bench_util.hpp"
 
 #include <cstdlib>
+#include <fstream>
 
 #include "baselines/reactive.hpp"
 #include "baselines/xmem.hpp"
 #include "common/assert.hpp"
+#include "common/log.hpp"
 #include "core/calibration.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace tahoe::bench {
 
@@ -49,11 +54,25 @@ core::RuntimeConfig runtime_config(const BenchConfig& config) {
   return c;
 }
 
+void append_report_json(const core::RunReport& report,
+                        const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream os(path, std::ios::app);
+  if (!os) {
+    TAHOE_WARN("cannot open report output file '" << path << "'");
+    return;
+  }
+  report.write_json(os, trace::global_counters().snapshot());
+  os << '\n';
+}
+
 core::RunReport run_static(const std::string& workload,
                            const BenchConfig& config, memsim::DeviceId tier) {
   core::Runtime rt(runtime_config(config));
   auto app = workloads::make_workload(workload, config.scale);
-  return rt.run_static(*app, tier);
+  core::RunReport report = rt.run_static(*app, tier);
+  append_report_json(report, config.report_json);
+  return report;
 }
 
 core::RunReport run_tahoe(const std::string& workload,
@@ -68,7 +87,9 @@ core::RunReport run_tahoe(const std::string& workload,
   auto app = workloads::make_workload(workload, config.scale);
   core::TahoePolicy policy(core::calibrate(rt.machine()).to_constants(),
                            options);
-  return rt.run(*app, policy);
+  core::RunReport report = rt.run(*app, policy);
+  append_report_json(report, config.report_json);
+  return report;
 }
 
 core::RunReport run_xmem(const std::string& workload,
@@ -76,7 +97,9 @@ core::RunReport run_xmem(const std::string& workload,
   core::Runtime rt(runtime_config(config));
   auto app = workloads::make_workload(workload, config.scale);
   baselines::XMemPolicy policy;
-  return rt.run(*app, policy);
+  core::RunReport report = rt.run(*app, policy);
+  append_report_json(report, config.report_json);
+  return report;
 }
 
 core::RunReport run_reactive(const std::string& workload,
@@ -84,7 +107,9 @@ core::RunReport run_reactive(const std::string& workload,
   core::Runtime rt(runtime_config(config));
   auto app = workloads::make_workload(workload, config.scale);
   baselines::ReactiveLruPolicy policy;
-  return rt.run(*app, policy);
+  core::RunReport report = rt.run(*app, policy);
+  append_report_json(report, config.report_json);
+  return report;
 }
 
 double normalized(const core::RunReport& run, const core::RunReport& dram) {
@@ -99,6 +124,11 @@ Flags standard_flags() {
   flags.define_bool("csv", false, "also emit CSV");
   flags.define_int("dram-mib", 256, "DRAM tier capacity in MiB");
   flags.define_int("workers", 0, "worker override (0 = machine default)");
+  flags.define_string("trace-out", "",
+                      "write a Chrome trace_event JSON timeline here "
+                      "(open in chrome://tracing or Perfetto)");
+  flags.define_string("report-json", "",
+                      "append each run's RunReport as a JSON line here");
   return flags;
 }
 
@@ -110,6 +140,20 @@ BenchConfig config_from_flags(const Flags& flags, const std::string& nvm_spec) {
   config.workers = static_cast<std::uint32_t>(flags.get_int("workers"));
   config.scale = flags.get_string("scale") == "test" ? workloads::Scale::Test
                                                      : workloads::Scale::Bench;
+  config.report_json = flags.get_string("report-json");
+
+  const std::string trace_out = flags.get_string("trace-out");
+  if (!trace_out.empty()) {
+    // Export at process exit so one invocation (possibly many runs) yields
+    // one timeline. The path outlives the call via a static.
+    static std::string trace_path;
+    const bool first = trace_path.empty();
+    trace_path = trace_out;
+    trace::global().set_enabled(true);
+    if (first) {
+      std::atexit([] { trace::export_chrome_trace(trace::global(), trace_path); });
+    }
+  }
   return config;
 }
 

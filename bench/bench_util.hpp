@@ -24,6 +24,9 @@ struct BenchConfig {
   std::uint64_t nvm_capacity = 16 * kGiB;
   std::uint32_t workers = 0;  ///< 0 = machine default
   workloads::Scale scale = workloads::Scale::Bench;
+  /// When non-empty, every run_* helper appends its RunReport (plus the
+  /// metrics-registry snapshot) as one JSON line to this file.
+  std::string report_json;
 };
 
 /// Build the machine for a config (platform-a unless spec == "optane").
@@ -55,10 +58,18 @@ core::RunReport run_reactive(const std::string& workload,
 /// DRAM-only run.
 double normalized(const core::RunReport& run, const core::RunReport& dram);
 
-/// Standard flag set (--scale, --csv, --dram-mib, --workers); returns the
-/// parsed flags after registering bench defaults.
+/// Standard flag set (--scale, --csv, --dram-mib, --workers, --trace-out,
+/// --report-json); returns the parsed flags after registering bench
+/// defaults.
 Flags standard_flags();
+/// Builds the config; additionally enables global tracing when --trace-out
+/// is set (the Chrome trace is exported at process exit).
 BenchConfig config_from_flags(const Flags& flags, const std::string& nvm_spec);
+
+/// Append `report` (with the current global counter snapshot) as one JSON
+/// line to `path`; no-op when `path` is empty.
+void append_report_json(const core::RunReport& report,
+                        const std::string& path);
 
 /// Print with the standard bench banner; emits CSV too when requested.
 void emit(const std::string& title, const Table& table, bool csv);

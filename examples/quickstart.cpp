@@ -6,12 +6,17 @@
 //    per-iteration task graph.
 // 3. Run it under the Tahoe runtime and compare with the DRAM-only and
 //    NVM-only extremes.
+#include <fstream>
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/units.hpp"
 #include "core/calibration.hpp"
 #include "core/planner.hpp"
 #include "core/runtime.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -29,11 +34,10 @@ class QuickstartApp : public core::Application {
   void setup(hms::ObjectRegistry& registry,
              const hms::ChunkingPolicy& chunking) override {
     (void)chunking;
+    // Everything starts on NVM; the runtime profiles the first iterations
+    // and migrates what matters into DRAM.
     table_ = registry.create("table", 48 * kMiB, memsim::kNvm);
     index_ = registry.create("index", 24 * kMiB, memsim::kNvm);
-    // Optional: static reference estimates enable initial placement.
-    registry.get_mutable(table_).static_ref_estimate = 6e6 * 10;
-    registry.get_mutable(index_).static_ref_estimate = 1e6 * 10;
   }
 
   void build_iteration(task::GraphBuilder& builder,
@@ -77,7 +81,18 @@ class QuickstartApp : public core::Application {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tahoe::Flags flags;
+  flags.define_string("trace-out", "",
+                      "write a Chrome trace_event JSON timeline here "
+                      "(open in chrome://tracing or Perfetto)");
+  flags.define_string("report-json", "",
+                      "write the Tahoe run's RunReport as JSON here");
+  flags.parse(argc, argv);
+  const std::string trace_out = flags.get_string("trace-out");
+  const std::string report_json = flags.get_string("report-json");
+  if (!trace_out.empty()) trace::global().set_enabled(true);
+
   // A machine whose NVM has 1/2 the DRAM bandwidth and 4x its latency
   // would need Quartz twice; the simulator just takes both numbers.
   memsim::DeviceModel nvm = memsim::devices::nvm_bw_fraction(
@@ -115,5 +130,17 @@ int main() {
       nvm_only.steady_iteration_seconds() - tahoe.steady_iteration_seconds();
   std::cout << "  -> Tahoe closed " << closed / gap * 100.0
             << "% of the DRAM/NVM gap\n";
+
+  if (!trace_out.empty() &&
+      trace::export_chrome_trace(trace::global(), trace_out)) {
+    std::cout << "  trace written to " << trace_out
+              << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  }
+  if (!report_json.empty()) {
+    std::ofstream os(report_json);
+    tahoe.write_json(os, trace::global_counters().snapshot());
+    os << '\n';
+    std::cout << "  report written to " << report_json << "\n";
+  }
   return 0;
 }

@@ -1,18 +1,50 @@
 #include "core/report.hpp"
 
+#include "trace/json.hpp"
+
 namespace tahoe::core {
 
 double RunReport::steady_iteration_seconds(std::size_t warmup) const {
-  if (iteration_seconds.empty()) return 0.0;
-  const std::size_t skip =
-      iteration_seconds.size() > warmup ? warmup : iteration_seconds.size() - 1;
+  // With no post-warmup iterations there is no steady state to report;
+  // 0.0 keeps ratios of such runs visibly degenerate instead of silently
+  // averaging warmup noise.
+  if (iteration_seconds.size() <= warmup) return 0.0;
   double sum = 0.0;
   std::size_t n = 0;
-  for (std::size_t i = skip; i < iteration_seconds.size(); ++i) {
+  for (std::size_t i = warmup; i < iteration_seconds.size(); ++i) {
     sum += iteration_seconds[i];
     ++n;
   }
-  return n > 0 ? sum / static_cast<double>(n) : iteration_seconds.back();
+  return sum / static_cast<double>(n);
+}
+
+void RunReport::write_json(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) const {
+  trace::JsonWriter w(os);
+  w.begin_object();
+  w.kv("workload", workload);
+  w.kv("policy", policy);
+  w.kv("strategy", strategy);
+  w.kv("compute_seconds", compute_seconds);
+  w.kv("overhead_seconds", overhead_seconds);
+  w.kv("decision_seconds", decision_seconds);
+  w.kv("total_seconds", total_seconds());
+  w.kv("steady_iteration_seconds", steady_iteration_seconds());
+  w.kv("migrations", migrations);
+  w.kv("bytes_moved", bytes_moved);
+  w.kv("copy_busy_seconds", copy_busy_seconds);
+  w.kv("stall_seconds", stall_seconds);
+  w.kv("overlap_fraction", overlap_fraction());
+  w.kv("runtime_cost_fraction", runtime_cost_fraction());
+  w.kv("reprofiles", static_cast<std::uint64_t>(reprofiles));
+  w.key("iteration_seconds").begin_array();
+  for (const double s : iteration_seconds) w.value(s);
+  w.end_array();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) w.kv(name, value);
+  w.end_object();
+  w.end_object();
 }
 
 }  // namespace tahoe::core

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tahoe::core {
@@ -43,7 +45,17 @@ struct RunReport {
 
   /// Mean of the steady-state iterations (skipping the first
   /// `warmup` iterations, default 3: profiling x2 + first enforcement).
+  /// Returns 0.0 when there are no post-warmup iterations to average.
   double steady_iteration_seconds(std::size_t warmup = 3) const;
+
+  /// Serialize the report as a single-line JSON object (no trailing
+  /// newline), optionally with a "counters" sub-object — the
+  /// machine-readable form benches emit as JSON lines. Parseable by
+  /// trace::parse_json.
+  void write_json(
+      std::ostream& os,
+      const std::vector<std::pair<std::string, std::uint64_t>>& counters = {})
+      const;
 };
 
 }  // namespace tahoe::core

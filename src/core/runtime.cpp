@@ -10,8 +10,27 @@
 #include "hms/migration.hpp"
 #include "task/executor.hpp"
 #include "task/sim_executor.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace tahoe::core {
+
+namespace {
+
+/// Register the standard track labels on the global tracer (no-op when
+/// tracing is off). Shared by the simulated and real execution paths.
+void name_standard_tracks(std::uint32_t workers) {
+  trace::Tracer& tracer = trace::global();
+  if (!tracer.enabled()) return;
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    tracer.set_track_name(w, "worker " + std::to_string(w));
+  }
+  tracer.set_track_name(trace::kMigrationTrack, "migration engine");
+  tracer.set_track_name(trace::kPlannerTrack, "planner");
+  tracer.set_track_name(trace::kRuntimeTrack, "runtime phases");
+}
+
+}  // namespace
 
 std::vector<ObjectInfo> collect_objects(const hms::ObjectRegistry& registry) {
   std::vector<ObjectInfo> out;
@@ -95,6 +114,17 @@ RunReport Runtime::run(Application& app, Policy& policy) {
     return state.registry->get(id).chunks.at(chunk).bytes;
   };
 
+  // Tracing: the simulated timeline is laid out on one virtual clock that
+  // accumulates iteration makespans, so a full run reads left-to-right in
+  // chrome://tracing. All instrumentation vanishes when tracing is off.
+  trace::Tracer& tracer = trace::global();
+  const bool traced = tracer.enabled();
+  double vclock = 0.0;
+  if (traced) {
+    name_standard_tracks(opts.workers != 0 ? opts.workers : machine.workers);
+    opts.tracer = &tracer;
+  }
+
   // Offline policies (no profiling) decide immediately on iteration 0's
   // graph; handled inside the loop below.
   const std::size_t iterations = app.iterations();
@@ -120,9 +150,17 @@ RunReport Runtime::run(Application& app, Policy& policy) {
       report.overhead_seconds += decision.decision_seconds;
       decided = true;
       enforced_since_decision = 0;
+      if (traced) {
+        const std::string label = "decide " + strategy;
+        tracer.instant(trace::kPlannerTrack, label.c_str(), vclock, "copies",
+                       schedule.size(), "cost_us",
+                       static_cast<std::uint64_t>(decision.decision_seconds *
+                                                  1e6));
+      }
     }
 
     const std::uint64_t samples_before = profiler.samples_taken();
+    opts.trace_time_offset = vclock;
     const task::SimReport sim =
         executor.run(graph, machine, state.placement, schedule, opts);
     report.iteration_seconds.push_back(sim.makespan);
@@ -140,6 +178,11 @@ RunReport Runtime::run(Application& app, Policy& policy) {
       report.overhead_seconds +=
           static_cast<double>(profiler.samples_taken() - samples_before) *
           config_.sample_cost_seconds;
+      if (traced) {
+        tracer.complete(trace::kPlannerTrack, "profile", vclock, sim.makespan,
+                        "iteration", iter, "samples",
+                        profiler.samples_taken() - samples_before);
+      }
       --profiling_left;
       if (profiling_left == 0) {
         PlanInputs inputs;
@@ -155,6 +198,14 @@ RunReport Runtime::run(Application& app, Policy& policy) {
         report.overhead_seconds += decision.decision_seconds;
         decided = true;
         enforced_since_decision = 0;
+        if (traced) {
+          const std::string label = "decide " + strategy;
+          tracer.instant(trace::kPlannerTrack, label.c_str(),
+                         vclock + sim.makespan, "copies", schedule.size(),
+                         "cost_us",
+                         static_cast<std::uint64_t>(
+                             decision.decision_seconds * 1e6));
+        }
         TAHOE_DEBUG("decision for " << app.name() << ": " << strategy
                                     << ", " << schedule.size() << " copies");
       }
@@ -168,12 +219,32 @@ RunReport Runtime::run(Application& app, Policy& policy) {
         } else if (enforced_since_decision > 2 && monitor.has_baseline() &&
                    monitor.deviates(sim.group_seconds)) {
           ++report.reprofiles;
+          trace::global_counters().get("runtime.reprofiles").increment();
           profiler.reset();
           profiling_left = config_.profile_iterations;
           decided = false;
+          if (traced) {
+            tracer.instant(trace::kPlannerTrack, "reprofile",
+                           vclock + sim.makespan, "iteration", iter);
+          }
           TAHOE_DEBUG("workload variation detected at iteration "
                       << iter << "; re-profiling");
         }
+      }
+    }
+
+    vclock += sim.makespan;
+    if (traced) {
+      // Per-iteration counter snapshot: cumulative run totals plus every
+      // registered metric, all on the runtime track.
+      tracer.counter(trace::kRuntimeTrack, "bytes_moved", vclock,
+                     report.bytes_moved);
+      tracer.counter(trace::kRuntimeTrack, "migrations", vclock,
+                     report.migrations);
+      tracer.counter(trace::kRuntimeTrack, "stall_us", vclock,
+                     static_cast<std::uint64_t>(report.stall_seconds * 1e6));
+      for (const auto& [name, value] : trace::global_counters().snapshot()) {
+        tracer.counter(trace::kRuntimeTrack, name.c_str(), vclock, value);
       }
     }
   }
@@ -206,12 +277,20 @@ RunReport Runtime::run_static(Application& app, memsim::DeviceId tier) {
   task::SimExecutor executor;
   task::SimExecutor::Options opts;
   opts.check_capacity = false;  // single-tier run; nothing moves
+  trace::Tracer& tracer = trace::global();
+  double vclock = 0.0;
+  if (tracer.enabled()) {
+    name_standard_tracks(opts.workers != 0 ? opts.workers : machine.workers);
+    opts.tracer = &tracer;
+  }
   for (std::size_t iter = 0; iter < app.iterations(); ++iter) {
     task::GraphBuilder builder;
     app.build_iteration(builder, iter);
     const task::TaskGraph graph = builder.build();
+    opts.trace_time_offset = vclock;
     const task::SimReport sim =
         executor.run(graph, machine, state.placement, {}, opts);
+    vclock += sim.makespan;
     report.iteration_seconds.push_back(sim.makespan);
     report.compute_seconds += sim.makespan;
   }
@@ -241,12 +320,20 @@ RunReport Runtime::run_pinned(Application& app,
   task::SimExecutor executor;
   task::SimExecutor::Options opts;
   opts.check_capacity = false;  // fixed placement, nothing moves
+  trace::Tracer& tracer = trace::global();
+  double vclock = 0.0;
+  if (tracer.enabled()) {
+    name_standard_tracks(opts.workers != 0 ? opts.workers : machine.workers);
+    opts.tracer = &tracer;
+  }
   for (std::size_t iter = 0; iter < app.iterations(); ++iter) {
     task::GraphBuilder builder;
     app.build_iteration(builder, iter);
     const task::TaskGraph graph = builder.build();
+    opts.trace_time_offset = vclock;
     const task::SimReport sim =
         executor.run(graph, machine, state.placement, {}, opts);
+    vclock += sim.makespan;
     report.iteration_seconds.push_back(sim.makespan);
     report.compute_seconds += sim.makespan;
   }
@@ -259,6 +346,7 @@ bool Runtime::run_real(Application& app,
   TAHOE_REQUIRE(config_.backing == hms::Backing::Real,
                 "run_real requires real backing");
   AppState state = prepare(app, /*huge_tiers=*/false);
+  name_standard_tracks(workers);
   hms::MigrationEngine engine(*state.registry,
                               hms::MigrationEngine::Mode::HelperThread);
   task::Executor executor(workers);

@@ -4,6 +4,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace tahoe::hms {
 
@@ -32,16 +34,49 @@ void MigrationEngine::enqueue(const MigrationRequest& req) {
     completed_tag_ = std::max(completed_tag_, req.tag);
     return;
   }
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     TAHOE_REQUIRE(!stop_, "enqueue after engine shutdown");
     queue_.push_back(req);
+    depth = queue_.size();
   }
   cv_enqueue_.notify_one();
+  trace::Tracer& tracer = trace::global();
+  if (tracer.enabled()) {
+    tracer.counter(trace::kMigrationTrack, "migrate_queue_depth",
+                   trace::now_seconds(), depth);
+  }
 }
 
 void MigrationEngine::execute(const MigrationRequest& req) {
+  trace::Tracer& tracer = trace::global();
+  const bool traced = tracer.enabled();
+  const DataObject& obj = registry_.get(req.object);
+  const std::uint64_t bytes = obj.chunks.at(req.chunk).bytes;
+  const memsim::DeviceId src = obj.chunks.at(req.chunk).device;
+  const double begin = traced ? trace::now_seconds() : 0.0;
   const bool ok = registry_.migrate_chunk(req.object, req.chunk, req.dst);
+  if (traced && src != req.dst) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::Complete;
+    ev.track = trace::kMigrationTrack;
+    ev.ts = begin;
+    ev.dur = trace::now_seconds() - begin;
+    ev.set_name(ok ? "migrate" : "migrate (rejected)");
+    ev.add_arg("bytes", bytes);
+    ev.add_arg("src_tier", src);
+    ev.add_arg("dst_tier", req.dst);
+    ev.add_arg("object", req.object);
+    tracer.emit(ev);
+  }
+  if (ok && src != req.dst) {
+    static trace::Counter& to_dram =
+        trace::global_counters().get("migrate.bytes.to_dram");
+    static trace::Counter& to_nvm =
+        trace::global_counters().get("migrate.bytes.to_nvm");
+    (req.dst == memsim::kDram ? to_dram : to_nvm).add(bytes);
+  }
   if (!ok) {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++rejected_;

@@ -4,6 +4,8 @@
 #include <exception>
 
 #include "common/assert.hpp"
+#include "trace/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace tahoe::task {
 
@@ -21,6 +23,11 @@ Executor::Executor(unsigned num_workers) {
   workers_.reserve(num_workers);
   for (unsigned w = 0; w < num_workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  if (trace::global().enabled()) {
+    for (unsigned w = 0; w < num_workers; ++w) {
+      trace::global().set_track_name(w, "worker " + std::to_string(w));
+    }
   }
 }
 
@@ -70,6 +77,14 @@ bool Executor::try_pop(unsigned self, TaskId& out) {
       out = q.deque.front();
       q.deque.pop_front();
       steal_count_.fetch_add(1, std::memory_order_relaxed);
+      static trace::Counter& steals =
+          trace::global_counters().get("executor.steals");
+      steals.increment();
+      trace::Tracer& tracer = trace::global();
+      if (tracer.enabled()) {
+        tracer.instant(self, "steal", trace::now_seconds(), "victim",
+                       (self + k) % queues_.size());
+      }
       return true;
     }
   }
@@ -100,6 +115,9 @@ void Executor::worker_loop(unsigned self) {
 
 void Executor::execute_task(TaskId id, unsigned self) {
   const Task& t = graph_->task(id);
+  trace::Tracer& tracer = trace::global();
+  const bool traced = tracer.enabled();
+  const double begin = traced ? trace::now_seconds() : 0.0;
   if (t.work) {
     try {
       t.work();
@@ -107,6 +125,11 @@ void Executor::execute_task(TaskId id, unsigned self) {
       const std::lock_guard<std::mutex> lock(error_mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+  }
+  if (traced) {
+    tracer.complete(self, t.label.empty() ? "task" : t.label.c_str(), begin,
+                    trace::now_seconds() - begin, "task", id, "group",
+                    t.group);
   }
   // Completion: release successors. Every task starts with an extra
   // "activation token" on top of its predecessor count (see run()), so a

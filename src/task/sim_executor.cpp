@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "memsim/fluid.hpp"
+#include "trace/counters.hpp"
 
 namespace tahoe::task {
 namespace {
@@ -17,6 +18,7 @@ struct CopyState {
   bool fired = false;
   bool done = false;
   bool in_flight = false;
+  memsim::DeviceId src = memsim::kDram;  ///< captured at start for tracing
 };
 
 }  // namespace
@@ -37,6 +39,14 @@ SimReport SimExecutor::run(const TaskGraph& graph,
   const std::uint32_t workers =
       options.workers != 0 ? options.workers : machine.workers;
   TAHOE_REQUIRE(workers >= 1, "need at least one worker");
+
+  // Instrumentation is fully skipped (not just null-sunk) when the tracer
+  // is absent or disabled.
+  trace::Tracer* const tracer =
+      (options.tracer != nullptr && options.tracer->enabled())
+          ? options.tracer
+          : nullptr;
+  const double t0 = options.trace_time_offset;
 
   memsim::FluidSim sim(machine.devices.size());
   SimReport report;
@@ -74,12 +84,38 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       const memsim::FlowId fid = sim.start_flow(spec);
       copy_flow_to_idx[fid] = idx;
       copy_state[idx].in_flight = true;
+      copy_state[idx].src = src;
       in_flight_copy = idx;
+      if (tracer != nullptr) {
+        tracer->counter(trace::kMigrationTrack, "copy_queue_depth",
+                        t0 + sim.now(), copy_fifo.size() + 1);
+      }
     }
   };
 
   auto complete_copy = [&](std::size_t idx, double duration) {
     const ScheduledCopy& c = schedule[idx];
+    if (tracer != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::Complete;
+      ev.track = trace::kMigrationTrack;
+      ev.ts = t0 + sim.now() - duration;
+      ev.dur = duration;
+      const std::string label =
+          "migrate " + machine.devices[copy_state[idx].src].name + "->" +
+          machine.devices[c.dst].name;
+      ev.set_name(label.c_str());
+      ev.add_arg("bytes", c.bytes);
+      ev.add_arg("src_tier", copy_state[idx].src);
+      ev.add_arg("dst_tier", c.dst);
+      ev.add_arg("object", c.object);
+      tracer->emit(ev);
+    }
+    // Metrics registry: bytes moved per (src, dst) tier pair.
+    trace::global_counters()
+        .get("migrate.bytes.t" + std::to_string(copy_state[idx].src) + "_t" +
+             std::to_string(c.dst))
+        .add(c.bytes);
     copy_state[idx].in_flight = false;
     copy_state[idx].done = true;
     placement.set(c.object, c.chunk, c.dst);
@@ -100,6 +136,18 @@ SimReport SimExecutor::run(const TaskGraph& graph,
     start_next();
   };
 
+  // Worker-lane bookkeeping for tracing: the fluid sim has no thread
+  // identity, so each running task borrows a free lane (0..workers-1) and
+  // its span lands on that lane's track — giving the familiar one-row-per-
+  // worker timeline.
+  std::vector<std::uint32_t> task_lane;
+  std::vector<std::uint32_t> free_lanes;
+  if (tracer != nullptr) {
+    task_lane.assign(graph.num_tasks(), 0);
+    free_lanes.reserve(workers);
+    for (std::uint32_t w = workers; w > 0; --w) free_lanes.push_back(w - 1);
+  }
+
   // Build the flow for one task under the current placement.
   auto start_task = [&](TaskId id) {
     const Task& t = graph.task(id);
@@ -114,6 +162,11 @@ SimReport SimExecutor::run(const TaskGraph& graph,
     const memsim::FlowSpec spec =
         machine.task_flow(t.compute_seconds, acc, t.id);
     (void)sim.start_flow(spec);
+    if (tracer != nullptr) {
+      TAHOE_ASSERT(!free_lanes.empty(), "more running tasks than workers");
+      task_lane[id] = free_lanes.back();
+      free_lanes.pop_back();
+    }
   };
 
   // ---- main phase loop ----------------------------------------------
@@ -150,6 +203,10 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       complete_copy(it->second, completion->time - completion->start_time);
     }
     report.stall_seconds += sim.now() - wait_begin;
+    if (tracer != nullptr && sim.now() > wait_begin) {
+      tracer->complete(trace::kRuntimeTrack, "migration-stall",
+                       t0 + wait_begin, sim.now() - wait_begin, "group", g);
+    }
 
     // Run the group's tasks.
     report.group_start[g] = sim.now();
@@ -175,6 +232,15 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       }
       const auto tid = static_cast<TaskId>(completion->tag);
       report.task_seconds[tid] = completion->time - completion->start_time;
+      if (tracer != nullptr) {
+        const Task& t = graph.task(tid);
+        tracer->complete(task_lane[tid],
+                         t.label.empty() ? "task" : t.label.c_str(),
+                         t0 + completion->start_time,
+                         completion->time - completion->start_time, "task",
+                         tid, "group", g);
+        free_lanes.push_back(task_lane[tid]);
+      }
       --running;
       --remaining;
       for (TaskId succ : graph.successors(tid)) {
@@ -185,6 +251,12 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       }
     }
     report.group_seconds[g] = sim.now() - report.group_start[g];
+    if (tracer != nullptr) {
+      const std::string label = "group " + grp.name;
+      tracer->complete(trace::kRuntimeTrack, label.c_str(),
+                       t0 + report.group_start[g], report.group_seconds[g],
+                       "tasks", grp.size());
+    }
   }
 
   report.makespan = sim.now();

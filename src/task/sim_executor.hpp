@@ -23,6 +23,7 @@
 #include "hms/placement.hpp"
 #include "memsim/machine.hpp"
 #include "task/graph.hpp"
+#include "trace/trace.hpp"
 
 namespace tahoe::task {
 
@@ -65,6 +66,14 @@ class SimExecutor {
     /// When true (default), verify DRAM occupancy never exceeds capacity
     /// after copy completions (requires unit_size).
     bool check_capacity = true;
+    /// Event sink for virtual-time spans (task executions on worker-lane
+    /// tracks, migration copies on the migration track, group-entry
+    /// stalls). Null disables instrumentation entirely.
+    trace::Tracer* tracer = nullptr;
+    /// Added to every emitted timestamp so multi-iteration runs lay out
+    /// consecutively on one timeline (each iteration restarts sim time
+    /// at zero).
+    double trace_time_offset = 0.0;
   };
 
   /// Execute and return the timing report. `placement` is consumed as the

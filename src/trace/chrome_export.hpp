@@ -1,0 +1,29 @@
+// Chrome trace_event JSON exporter.
+//
+// Converts drained TraceEvents into the Trace Event Format understood by
+// chrome://tracing and Perfetto: one "process" per run, one named thread
+// (track) per worker plus the migration/planner/runtime tracks, "X"
+// complete events for spans, "i" instants and "C" counters. Timestamps are
+// converted from seconds (wall or virtual — the format does not care) to
+// the microseconds the format requires.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace tahoe::trace {
+
+/// Serialize `events` (with the given track labels) as a complete Chrome
+/// trace JSON document.
+void write_chrome_trace(
+    std::ostream& os, const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<TrackId, std::string>>& track_names);
+
+/// Drain `tracer` and write its trace to `path`. Returns false (after
+/// logging a warning) when the file cannot be opened. Unnamed tracks get a
+/// generated "track <id>" label.
+bool export_chrome_trace(Tracer& tracer, const std::string& path);
+
+}  // namespace tahoe::trace

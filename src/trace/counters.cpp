@@ -1,0 +1,38 @@
+#include "trace/counters.hpp"
+
+namespace tahoe::trace {
+
+Counter& CounterRegistry::get(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+void CounterRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->set(0);
+}
+
+std::size_t CounterRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size();
+}
+
+CounterRegistry& global_counters() {
+  static CounterRegistry registry;
+  return registry;
+}
+
+}  // namespace tahoe::trace

@@ -1,0 +1,63 @@
+// Runtime metrics registry: named monotonic counters with cheap updates
+// and coherent snapshots.
+//
+// Counters are registered once (mutex-protected name lookup) and then
+// updated lock-free through the returned handle — the hot path is one
+// relaxed fetch_add. The runtime snapshots the registry at iteration
+// boundaries to feed both the trace timeline (counter tracks) and the
+// machine-readable run export (report_json.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tahoe::trace {
+
+/// One monotonic counter. Address-stable for the registry's lifetime.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  /// For gauges (queue depth): overwrite rather than accumulate.
+  void set(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class CounterRegistry {
+ public:
+  /// Find-or-create; the reference stays valid until the registry dies.
+  Counter& get(const std::string& name);
+
+  /// (name, value) pairs sorted by name. Values are relaxed reads — each
+  /// is individually coherent; the set is a point-in-time sample.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+  /// Zero every registered counter (between benchmark configurations).
+  void reset();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+/// Process-wide registry used by the runtime's instrumentation points.
+CounterRegistry& global_counters();
+
+}  // namespace tahoe::trace

@@ -1,0 +1,71 @@
+// RunReport machine-readable export: the JSON line benches emit must parse
+// back with every field intact, including the counters sub-object.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "trace/json.hpp"
+
+namespace tahoe::core {
+namespace {
+
+RunReport sample_report() {
+  RunReport r;
+  r.workload = "cg";
+  r.policy = "tahoe";
+  r.strategy = "global";
+  r.iteration_seconds = {2.0, 1.5, 1.2, 1.0, 1.0, 1.0};
+  r.compute_seconds = 7.7;
+  r.overhead_seconds = 0.1;
+  r.decision_seconds = 0.02;
+  r.migrations = 12;
+  r.bytes_moved = 48u << 20;
+  r.copy_busy_seconds = 0.5;
+  r.stall_seconds = 0.1;
+  r.reprofiles = 1;
+  return r;
+}
+
+TEST(ReportJson, RoundTripsThroughParser) {
+  const RunReport r = sample_report();
+  std::ostringstream os;
+  r.write_json(os, {{"executor.steals", 7}, {"migrate.bytes.t1_t0", 123}});
+
+  // Single line, JSONL-friendly.
+  EXPECT_EQ(os.str().find('\n'), std::string::npos);
+
+  const trace::JsonValue v = trace::parse_json(os.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("workload").string, "cg");
+  EXPECT_EQ(v.at("policy").string, "tahoe");
+  EXPECT_EQ(v.at("strategy").string, "global");
+  EXPECT_DOUBLE_EQ(v.at("compute_seconds").number, 7.7);
+  EXPECT_DOUBLE_EQ(v.at("overhead_seconds").number, 0.1);
+  EXPECT_DOUBLE_EQ(v.at("total_seconds").number, 7.8);
+  EXPECT_DOUBLE_EQ(v.at("steady_iteration_seconds").number, 1.0);
+  EXPECT_DOUBLE_EQ(v.at("migrations").number, 12.0);
+  EXPECT_DOUBLE_EQ(v.at("bytes_moved").number,
+                   static_cast<double>(48u << 20));
+  EXPECT_DOUBLE_EQ(v.at("reprofiles").number, 1.0);
+  ASSERT_EQ(v.at("iteration_seconds").array.size(), 6u);
+  EXPECT_DOUBLE_EQ(v.at("iteration_seconds").array[0].number, 2.0);
+  EXPECT_DOUBLE_EQ(v.at("overlap_fraction").number, 0.8);
+  ASSERT_TRUE(v.at("counters").is_object());
+  EXPECT_DOUBLE_EQ(v.at("counters").at("executor.steals").number, 7.0);
+  EXPECT_DOUBLE_EQ(v.at("counters").at("migrate.bytes.t1_t0").number, 123.0);
+}
+
+TEST(ReportJson, EmptyReportStillParses) {
+  const RunReport r;
+  std::ostringstream os;
+  r.write_json(os);
+  const trace::JsonValue v = trace::parse_json(os.str());
+  EXPECT_EQ(v.at("workload").string, "");
+  EXPECT_DOUBLE_EQ(v.at("steady_iteration_seconds").number, 0.0);
+  EXPECT_TRUE(v.at("iteration_seconds").array.empty());
+  EXPECT_TRUE(v.at("counters").object.empty());
+}
+
+}  // namespace
+}  // namespace tahoe::core

@@ -156,13 +156,19 @@ TEST(MemoryMode, RuntimeRunsOnDerivedMachine) {
 }
 
 TEST(RunReport, SteadyIterationHandlesShortRuns) {
+  // Regression: runs with no post-warmup iterations must report 0.0 (the
+  // old fallback silently averaged warmup noise).
   core::RunReport r;
   EXPECT_DOUBLE_EQ(r.steady_iteration_seconds(), 0.0);
   r.iteration_seconds = {5.0};
-  EXPECT_DOUBLE_EQ(r.steady_iteration_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(r.steady_iteration_seconds(), 0.0);
+  r.iteration_seconds = {9.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(r.steady_iteration_seconds(3), 0.0);
   r.iteration_seconds = {9.0, 1.0, 1.0, 1.0, 3.0};
   EXPECT_DOUBLE_EQ(r.steady_iteration_seconds(3), 2.0);
   EXPECT_DOUBLE_EQ(r.steady_iteration_seconds(0), 3.0);
+  EXPECT_DOUBLE_EQ(r.steady_iteration_seconds(4), 3.0);
+  EXPECT_DOUBLE_EQ(r.steady_iteration_seconds(5), 0.0);
 }
 
 }  // namespace
