@@ -6,6 +6,7 @@
 #include "baselines/reactive.hpp"
 #include "baselines/xmem.hpp"
 #include "common/assert.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "core/calibration.hpp"
 #include "trace/chrome_export.hpp"
@@ -129,10 +130,14 @@ Flags standard_flags() {
                       "(open in chrome://tracing or Perfetto)");
   flags.define_string("report-json", "",
                       "append each run's RunReport as a JSON line here");
+  fault::register_flags(flags);
   return flags;
 }
 
 BenchConfig config_from_flags(const Flags& flags, const std::string& nvm_spec) {
+  // Chaos benchmarking: arm the global injector when any --fault-* rate is
+  // set (all seeded, so chaos runs replay exactly).
+  fault::configure_from_flags(flags);
   BenchConfig config;
   config.nvm_spec = nvm_spec;
   config.dram_capacity =

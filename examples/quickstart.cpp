@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "common/fault.hpp"
 #include "common/flags.hpp"
 #include "common/units.hpp"
 #include "core/calibration.hpp"
@@ -88,7 +89,9 @@ int main(int argc, char** argv) {
                       "(open in chrome://tracing or Perfetto)");
   flags.define_string("report-json", "",
                       "write the Tahoe run's RunReport as JSON here");
+  tahoe::fault::register_flags(flags);
   flags.parse(argc, argv);
+  tahoe::fault::configure_from_flags(flags);
   const std::string trace_out = flags.get_string("trace-out");
   const std::string report_json = flags.get_string("report-json");
   if (!trace_out.empty()) trace::global().set_enabled(true);

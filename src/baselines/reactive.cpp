@@ -43,6 +43,7 @@ WalkResult walk(const core::PlanInputs& in, const std::vector<Unit>& start,
     }
     for (const Unit& u : referenced) {
       last_used[u] = g;
+      if (in.pinned(u.first)) continue;  // degraded to NVM; never fill
       const std::uint64_t bytes = in.unit_bytes(u.first, u.second);
       if (space.resident(u.first, u.second) || bytes > capacity) continue;
       // Evict least-recently-used residents until the unit fits.

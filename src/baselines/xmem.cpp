@@ -40,6 +40,7 @@ core::PlanDecision XMemPolicy::decide(const core::PlanInputs& in) {
   };
   std::vector<Ranked> ranked;
   for (const auto& [id, h] : hotness) {
+    if (in.pinned(id)) continue;  // degraded to NVM; not a DRAM candidate
     const core::ObjectInfo& info = in.object(id);
     const std::uint64_t size = info.total_bytes();
     if (size == 0 || h.accesses <= 0.0) continue;

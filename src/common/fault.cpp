@@ -1,0 +1,178 @@
+#include "common/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/flags.hpp"
+
+namespace tahoe::fault {
+
+const char* site_name(Site site) noexcept {
+  switch (site) {
+    case Site::ArenaExhaustion: return "arena_exhaustion";
+    case Site::AllocFailure: return "alloc_failure";
+    case Site::MigrationAbort: return "migration_abort";
+    case Site::DramReservation: return "dram_reservation";
+    case Site::CopyStall: return "copy_stall";
+    case Site::SamplerNoise: return "sampler_noise";
+    case Site::kNumSites: break;
+  }
+  return "unknown";
+}
+
+double FaultConfig::rate(Site site) const noexcept {
+  switch (site) {
+    case Site::ArenaExhaustion: return arena_exhaustion;
+    case Site::AllocFailure: return alloc_failure;
+    case Site::MigrationAbort: return migration_abort;
+    case Site::DramReservation: return dram_reservation;
+    case Site::CopyStall: return copy_stall;
+    case Site::SamplerNoise: return sampler_noise;
+    case Site::kNumSites: break;
+  }
+  return 0.0;
+}
+
+bool FaultConfig::any() const noexcept {
+  for (std::size_t s = 0; s < kNumSites; ++s) {
+    if (rate(static_cast<Site>(s)) > 0.0) return true;
+  }
+  return false;
+}
+
+void FaultInjector::configure(const FaultConfig& config) {
+  for (std::size_t s = 0; s < kNumSites; ++s) {
+    TAHOE_REQUIRE(config.rate(static_cast<Site>(s)) >= 0.0 &&
+                      config.rate(static_cast<Site>(s)) <= 1.0,
+                  "fault rate out of [0, 1]");
+  }
+  TAHOE_REQUIRE(config.copy_stall_seconds >= 0.0,
+                "stall duration must be non-negative");
+  const std::lock_guard<std::mutex> lock(config_mutex_);
+  config_ = config;
+  // Expand the one seed into independent per-site streams so scenarios
+  // compose without perturbing each other's schedules.
+  SplitMix64 sm(config.seed);
+  for (Stream& stream : streams_) {
+    const std::lock_guard<std::mutex> slock(stream.mutex);
+    stream.rng = Rng(sm.next());
+    stream.injected.store(0, std::memory_order_relaxed);
+  }
+  armed_.store(config.any(), std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  const std::lock_guard<std::mutex> lock(config_mutex_);
+  config_ = FaultConfig{};
+  for (Stream& stream : streams_) {
+    stream.injected.store(0, std::memory_order_relaxed);
+  }
+  armed_.store(false, std::memory_order_release);
+}
+
+FaultConfig FaultInjector::config() const {
+  const std::lock_guard<std::mutex> lock(config_mutex_);
+  return config_;
+}
+
+bool FaultInjector::should_fail(Site site) {
+  if (!armed()) return false;
+  double rate = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(config_mutex_);
+    rate = config_.rate(site);
+  }
+  if (rate <= 0.0) return false;
+  Stream& stream = streams_[static_cast<std::size_t>(site)];
+  const std::lock_guard<std::mutex> lock(stream.mutex);
+  if (stream.rng.next_double() >= rate) return false;
+  stream.injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double FaultInjector::stall_seconds() {
+  if (!should_fail(Site::CopyStall)) return 0.0;
+  const std::lock_guard<std::mutex> lock(config_mutex_);
+  return config_.copy_stall_seconds;
+}
+
+std::uint64_t FaultInjector::spurious_samples(std::uint64_t total_samples) {
+  if (!armed() || total_samples == 0) return 0;
+  double rate = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(config_mutex_);
+    rate = config_.sampler_noise;
+  }
+  if (rate <= 0.0) return 0;
+  Stream& stream = streams_[static_cast<std::size_t>(Site::SamplerNoise)];
+  const std::lock_guard<std::mutex> lock(stream.mutex);
+  const double magnitude = stream.rng.next_double() * rate *
+                           static_cast<double>(total_samples);
+  const auto spurious = static_cast<std::uint64_t>(std::llround(magnitude));
+  if (spurious > 0) {
+    stream.injected.fetch_add(1, std::memory_order_relaxed);
+  }
+  return spurious;
+}
+
+std::uint64_t FaultInjector::injected(Site site) const {
+  return streams_[static_cast<std::size_t>(site)].injected.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const Stream& stream : streams_) {
+    total += stream.injected.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+FaultInjector& global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void register_flags(Flags& flags) {
+  flags.define_int("fault-seed", 0x7ab1e5ee,
+                   "seed for the deterministic fault-injection streams");
+  flags.define_double("fault-arena-exhaustion", 0.0,
+                      "P(Arena::alloc artificially fails), 0..1");
+  flags.define_double("fault-alloc-failure", 0.0,
+                      "P(object chunk allocation fails per attempt), 0..1");
+  flags.define_double("fault-migration-abort", 0.0,
+                      "P(migration copy aborts mid-flight), 0..1");
+  flags.define_double("fault-dram-reservation", 0.0,
+                      "P(planner DRAM reservation is vetoed), 0..1");
+  flags.define_double("fault-copy-stall", 0.0,
+                      "P(helper-thread copy stalls), 0..1");
+  flags.define_double("fault-copy-stall-ms", 1.0,
+                      "injected stall duration in milliseconds");
+  flags.define_double("fault-sampler-noise", 0.0,
+                      "max spurious-sample fraction added to counters, 0..1");
+}
+
+FaultConfig config_from_flags(const Flags& flags) {
+  FaultConfig config;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed"));
+  config.arena_exhaustion = flags.get_double("fault-arena-exhaustion");
+  config.alloc_failure = flags.get_double("fault-alloc-failure");
+  config.migration_abort = flags.get_double("fault-migration-abort");
+  config.dram_reservation = flags.get_double("fault-dram-reservation");
+  config.copy_stall = flags.get_double("fault-copy-stall");
+  config.copy_stall_seconds = flags.get_double("fault-copy-stall-ms") * 1e-3;
+  config.sampler_noise = flags.get_double("fault-sampler-noise");
+  return config;
+}
+
+void configure_from_flags(const Flags& flags) {
+  const FaultConfig config = config_from_flags(flags);
+  if (config.any()) {
+    global().configure(config);
+  } else {
+    global().disarm();
+  }
+}
+
+}  // namespace tahoe::fault

@@ -1,0 +1,124 @@
+// Deterministic fault injection for chaos-testing the HMS/migration layer.
+//
+// Production-scale behaviour means surviving the scenarios the planner
+// assumes away: DRAM arenas filling up mid-run, reservation races, copies
+// that abort or stall, counters that lie. The FaultInjector lets tests and
+// benches inject exactly those events, *deterministically*: every
+// injection site draws from its own seeded xoshiro stream, so identical
+// (seed, flags, call sequence) triples reproduce identical fault
+// schedules. A disarmed injector costs one relaxed atomic load per site —
+// cheap enough to leave compiled into the hot paths.
+//
+// The injector is process-global (like the tracer and the counter
+// registry) because it must be visible from Arena/ObjectRegistry/
+// MigrationEngine/SpaceManager/Sampler without threading a handle through
+// every constructor the application touches.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace tahoe {
+class Flags;
+}
+
+namespace tahoe::fault {
+
+/// Where a fault can strike. Each site owns an independent random stream:
+/// enabling one scenario never perturbs the schedule of another.
+enum class Site : std::size_t {
+  ArenaExhaustion = 0,  ///< Arena::alloc returns nullptr despite free space
+  AllocFailure,         ///< ObjectRegistry::create chunk allocation fails
+  MigrationAbort,       ///< migrate_chunk aborts after the destination alloc
+  DramReservation,      ///< planner-side DRAM reservation veto
+  CopyStall,            ///< helper-thread copy stalls for a configured time
+  SamplerNoise,         ///< spurious samples added to hardware counters
+  kNumSites,
+};
+
+inline constexpr std::size_t kNumSites =
+    static_cast<std::size_t>(Site::kNumSites);
+
+const char* site_name(Site site) noexcept;
+
+struct FaultConfig {
+  std::uint64_t seed = 0x7ab1e5eedf00dULL;
+  double arena_exhaustion = 0.0;   ///< P(alloc fails) per Arena::alloc
+  double alloc_failure = 0.0;      ///< P(chunk alloc fails) per attempt
+  double migration_abort = 0.0;    ///< P(copy aborts) per migrate_chunk
+  double dram_reservation = 0.0;   ///< P(reservation vetoed) per attempt
+  double copy_stall = 0.0;         ///< P(copy stalls) per engine request
+  double copy_stall_seconds = 1e-3;  ///< injected stall duration (real path)
+  double sampler_noise = 0.0;      ///< max spurious-sample fraction
+
+  double rate(Site site) const noexcept;
+  bool any() const noexcept;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arm (or re-arm) with `config`. Reseeds every site stream and resets
+  /// the injection counts, so two identically-configured runs observe
+  /// identical fault schedules. A config with no positive rate disarms.
+  void configure(const FaultConfig& config);
+
+  /// Disable all injection (the default state).
+  void disarm();
+
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  FaultConfig config() const;
+
+  /// One Bernoulli draw on the site's stream. False whenever disarmed or
+  /// the site's rate is zero (no draw is consumed in either case).
+  bool should_fail(Site site);
+
+  /// Copy-stall scenario: 0.0, or the configured stall duration when the
+  /// CopyStall site fires.
+  double stall_seconds();
+
+  /// Sampler-noise scenario: number of spurious samples to add given
+  /// `total_samples` real ones (uniform in [0, noise * total]).
+  std::uint64_t spurious_samples(std::uint64_t total_samples);
+
+  /// Injections delivered since the last configure().
+  std::uint64_t injected(Site site) const;
+  std::uint64_t total_injected() const;
+
+ private:
+  struct Stream {
+    std::mutex mutex;
+    Rng rng{0};
+    std::atomic<std::uint64_t> injected{0};
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex config_mutex_;
+  FaultConfig config_;
+  std::array<Stream, kNumSites> streams_;
+};
+
+/// Process-wide injector consulted by the instrumented sites.
+FaultInjector& global();
+
+/// Register the --fault-* flag set on a binary's Flags instance.
+void register_flags(Flags& flags);
+
+/// Build a FaultConfig from parsed --fault-* flags.
+FaultConfig config_from_flags(const Flags& flags);
+
+/// Convenience: configure (or disarm) the global injector from flags.
+void configure_from_flags(const Flags& flags);
+
+}  // namespace tahoe::fault

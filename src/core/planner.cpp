@@ -176,6 +176,8 @@ std::vector<UnitWeight> group_weights(
 
   std::vector<UnitWeight> out;
   for (const auto& [unit, counts] : prof.groups[g].units) {
+    // Degraded objects are pinned to NVM: never a promotion candidate.
+    if (in.pinned(unit.object)) continue;
     const memsim::SampledCounts per_it =
         per_iteration(counts, prof.iterations_profiled);
     if (per_it.accesses() == 0) continue;

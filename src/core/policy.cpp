@@ -1,5 +1,6 @@
 #include "core/policy.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "common/assert.hpp"
@@ -18,6 +19,11 @@ const ObjectInfo& PlanInputs::object(hms::ObjectId id) const {
     if (o.id == id) return o;
   }
   TAHOE_UNREACHABLE("object not in plan inputs");
+}
+
+bool PlanInputs::pinned(hms::ObjectId id) const {
+  return std::find(pinned_nvm.begin(), pinned_nvm.end(), id) !=
+         pinned_nvm.end();
 }
 
 std::vector<task::ScheduledCopy> cyclic_preamble(

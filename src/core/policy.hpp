@@ -40,9 +40,14 @@ struct PlanInputs {
   const PhaseProfiles* profiles = nullptr;    ///< null for offline policies
   std::vector<ObjectInfo> objects;
   hms::PlacementMap current;                  ///< placement at decision time
+  /// Objects the degradation path pinned to NVM: repeated DRAM failures
+  /// (reservation vetoes, aborted copies) demoted them, and every policy
+  /// must keep them out of its DRAM plan when re-planning.
+  std::vector<hms::ObjectId> pinned_nvm;
 
   std::uint64_t unit_bytes(hms::ObjectId id, std::size_t chunk) const;
   const ObjectInfo& object(hms::ObjectId id) const;
+  bool pinned(hms::ObjectId id) const;
 };
 
 struct PlanDecision {

@@ -38,6 +38,13 @@ void RunReport::write_json(
   w.kv("overlap_fraction", overlap_fraction());
   w.kv("runtime_cost_fraction", runtime_cost_fraction());
   w.kv("reprofiles", static_cast<std::uint64_t>(reprofiles));
+  w.kv("failed_no_space", failed_no_space);
+  w.kv("migrations_retried", migrations_retried);
+  w.kv("migrations_aborted", migrations_aborted);
+  w.kv("migrations_cancelled", migrations_cancelled);
+  w.kv("plans_degraded", plans_degraded);
+  w.kv("faults_injected", faults_injected);
+  w.kv("verified", verified);
   w.key("iteration_seconds").begin_array();
   for (const double s : iteration_seconds) w.value(s);
   w.end_array();

@@ -25,6 +25,15 @@ struct RunReport {
   double stall_seconds = 0.0;       ///< exposed (non-overlapped) copy time
   std::size_t reprofiles = 0;       ///< adaptivity-triggered re-decisions
 
+  // Degradation bookkeeping (fault injection and genuine failures alike).
+  std::uint64_t failed_no_space = 0;      ///< moves refused: tier full
+  std::uint64_t migrations_retried = 0;   ///< retry attempts after aborts
+  std::uint64_t migrations_aborted = 0;   ///< requests abandoned after retries
+  std::uint64_t migrations_cancelled = 0; ///< requests cancelled pre-copy
+  std::uint64_t plans_degraded = 0;       ///< re-plans forced by pinning
+  std::uint64_t faults_injected = 0;      ///< injector firings during the run
+  bool verified = true;                   ///< numerical check (real runs)
+
   double total_seconds() const noexcept {
     return compute_seconds + overhead_seconds;
   }

@@ -1,13 +1,16 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/assert.hpp"
+#include "common/fault.hpp"
 #include "common/log.hpp"
 #include "core/adaptivity.hpp"
 #include "core/initial_placement.hpp"
 #include "core/profiles.hpp"
 #include "hms/migration.hpp"
+#include "hms/space_manager.hpp"
 #include "task/executor.hpp"
 #include "task/sim_executor.hpp"
 #include "trace/counters.hpp"
@@ -30,7 +33,85 @@ void name_standard_tracks(std::uint32_t workers) {
   tracer.set_track_name(trace::kRuntimeTrack, "runtime phases");
 }
 
+/// Replay the planned schedule against a hypothetical DRAM occupancy and
+/// return the first object whose fill cannot reserve space even after
+/// `retries` extra attempts (injected vetoes model racing consumers of the
+/// tier). Returns kInvalidObject when the whole schedule reserves cleanly.
+hms::ObjectId first_unreservable(
+    const PlanInputs& in, const std::vector<task::ScheduledCopy>& schedule,
+    std::uint64_t dram_capacity, int retries) {
+  hms::SpaceManager space(dram_capacity);
+  for (const auto& [unit, dev] : in.current.entries()) {
+    if (dev == memsim::kDram) {
+      (void)space.add(unit.first, unit.second,
+                      in.unit_bytes(unit.first, unit.second));
+    }
+  }
+  // Walk in trigger order (stable, so same-group evictions precede fills
+  // exactly as the schedule lays them out).
+  std::vector<std::size_t> order(schedule.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&schedule](std::size_t a, std::size_t b) {
+                     return schedule[a].trigger_group <
+                            schedule[b].trigger_group;
+                   });
+  for (const std::size_t i : order) {
+    const task::ScheduledCopy& c = schedule[i];
+    if (c.dst != memsim::kDram) {
+      space.remove(c.object, c.chunk);
+      continue;
+    }
+    if (space.resident(c.object, c.chunk)) continue;
+    bool reserved = false;
+    for (int attempt = 0; attempt <= retries && !reserved; ++attempt) {
+      reserved = space.try_reserve(c.object, c.chunk, c.bytes);
+    }
+    if (!reserved) return c.object;
+  }
+  return hms::kInvalidObject;
+}
+
 }  // namespace
+
+PlanDecision Runtime::decide_validated(Policy& policy, PlanInputs inputs,
+                                       std::vector<hms::ObjectId>& pinned,
+                                       RunReport& report) {
+  // Bounded: each round pins at least one more object, and a plan with
+  // everything pinned schedules no fills at all.
+  constexpr int kMaxRounds = 8;
+  for (int round = 0;; ++round) {
+    inputs.pinned_nvm = pinned;
+    PlanDecision decision = policy.decide(inputs);
+    if (config_.fixed_decision_seconds) {
+      decision.decision_seconds = *config_.fixed_decision_seconds;
+    }
+    const hms::ObjectId offender =
+        first_unreservable(inputs, decision.schedule,
+                           config_.machine.dram().capacity,
+                           config_.reservation_retries);
+    if (offender == hms::kInvalidObject) return decision;
+    if (round + 1 >= kMaxRounds) {
+      // Last resort: keep the plan but strip the offender's fills so the
+      // schedule stays capacity-safe.
+      std::erase_if(decision.schedule, [offender](const task::ScheduledCopy& c) {
+        return c.object == offender && c.dst == memsim::kDram;
+      });
+      TAHOE_WARN("plan validation gave up after " << kMaxRounds
+                                                  << " rounds; dropping DRAM "
+                                                     "fills of object "
+                                                  << offender);
+      return decision;
+    }
+    pinned.push_back(offender);
+    ++report.plans_degraded;
+    trace::global_counters().get("plan.degraded").increment();
+    TAHOE_WARN("DRAM reservation for object "
+               << offender << " failed "
+               << (config_.reservation_retries + 1)
+               << " times; pinning it to NVM and re-planning");
+  }
+}
 
 std::vector<ObjectInfo> collect_objects(const hms::ObjectRegistry& registry) {
   std::vector<ObjectInfo> out;
@@ -84,11 +165,16 @@ Runtime::AppState Runtime::prepare(Application& app, bool huge_tiers) {
 
 RunReport Runtime::run(Application& app, Policy& policy) {
   const memsim::Machine& machine = config_.machine;
+  const std::uint64_t faults_before = fault::global().total_injected();
   AppState state = prepare(app, /*huge_tiers=*/false);
 
   RunReport report;
   report.workload = app.name();
   report.policy = policy.name();
+
+  // Objects demoted by the degradation path; persists across re-profiles
+  // so a repeatedly failing object is not retried forever.
+  std::vector<hms::ObjectId> pinned;
 
   // Initial placement: free at allocation time.
   if (config_.initial_placement) {
@@ -143,7 +229,8 @@ RunReport Runtime::run(Application& app, Policy& policy) {
       inputs.profiles = nullptr;
       inputs.objects = state.objects;
       inputs.current = state.placement;
-      PlanDecision decision = policy.decide(inputs);
+      PlanDecision decision =
+          decide_validated(policy, std::move(inputs), pinned, report);
       schedule = std::move(decision.schedule);
       strategy = decision.strategy;
       report.decision_seconds += decision.decision_seconds;
@@ -191,7 +278,8 @@ RunReport Runtime::run(Application& app, Policy& policy) {
         inputs.profiles = &profiler.profiles();
         inputs.objects = state.objects;
         inputs.current = state.placement;
-        PlanDecision decision = policy.decide(inputs);
+        PlanDecision decision =
+            decide_validated(policy, std::move(inputs), pinned, report);
         schedule = std::move(decision.schedule);
         strategy = decision.strategy;
         report.decision_seconds += decision.decision_seconds;
@@ -250,6 +338,8 @@ RunReport Runtime::run(Application& app, Policy& policy) {
   }
 
   report.strategy = strategy;
+  report.failed_no_space = state.registry->stats().failed_no_space;
+  report.faults_injected = fault::global().total_injected() - faults_before;
   return report;
 }
 
@@ -343,13 +433,23 @@ RunReport Runtime::run_pinned(Application& app,
 bool Runtime::run_real(Application& app,
                        const std::vector<task::ScheduledCopy>& schedule,
                        unsigned workers) {
+  return run_real_report(app, schedule, workers).verified;
+}
+
+RunReport Runtime::run_real_report(
+    Application& app, const std::vector<task::ScheduledCopy>& schedule,
+    unsigned workers) {
   TAHOE_REQUIRE(config_.backing == hms::Backing::Real,
                 "run_real requires real backing");
+  const std::uint64_t faults_before = fault::global().total_injected();
   AppState state = prepare(app, /*huge_tiers=*/false);
   name_standard_tracks(workers);
-  hms::MigrationEngine engine(*state.registry,
-                              hms::MigrationEngine::Mode::HelperThread);
+  hms::MigrationEngine::Options eopts;
+  eopts.mode = hms::MigrationEngine::Mode::HelperThread;
+  eopts.max_retries = config_.migration_max_retries;
+  hms::MigrationEngine engine(*state.registry, eopts);
   task::Executor executor(workers);
+  const double deadline = config_.migration_wait_deadline_seconds;
 
   for (std::size_t iter = 0; iter < app.iterations(); ++iter) {
     task::GraphBuilder builder;
@@ -357,18 +457,47 @@ bool Runtime::run_real(Application& app,
     const task::TaskGraph graph = builder.build();
     executor.run(graph, [&](task::GroupId g) {
       // Fire this group's proactive copies, then wait for the ones the
-      // group needs — the paper's phase-boundary protocol.
+      // group needs — the paper's phase-boundary protocol. With a deadline
+      // configured, a stalled helper cannot hold the application hostage:
+      // requests the group is already past are cancelled and the tasks
+      // simply read from the source tier.
       for (const task::ScheduledCopy& c : schedule) {
         if (c.trigger_group == g) {
           engine.enqueue(hms::MigrationRequest{c.object, c.chunk, c.dst,
                                                c.needed_group});
         }
       }
-      engine.wait_tag(g);
+      if (deadline > 0.0) {
+        if (!engine.wait_tag_for(g, deadline)) {
+          const std::size_t n = engine.cancel_tag(g);
+          TAHOE_WARN("group " << g << " migration wait exceeded " << deadline
+                              << " s; cancelled " << n
+                              << " queued request(s) and proceeding");
+          // The one in-flight copy (if any) cannot be cancelled safely;
+          // it is a single bounded memcpy, so finish the protocol on it.
+          engine.wait_tag(g);
+        }
+      } else {
+        engine.wait_tag(g);
+      }
     });
   }
   engine.drain();
-  return app.verify(*state.registry);
+
+  RunReport report;
+  report.workload = app.name();
+  report.policy = "real";
+  report.verified = app.verify(*state.registry);
+  const hms::MigrationStats& ms = state.registry->stats();
+  report.migrations = ms.migrations;
+  report.bytes_moved = ms.bytes_moved;
+  report.failed_no_space = ms.failed_no_space;
+  report.migrations_retried = engine.retried();
+  report.migrations_aborted = engine.aborted();
+  report.migrations_cancelled = engine.cancelled();
+  report.plans_degraded = engine.degraded_objects().size();
+  report.faults_injected = fault::global().total_injected() - faults_before;
+  return report;
 }
 
 }  // namespace tahoe::core

@@ -41,6 +41,22 @@ struct RuntimeConfig {
   double sample_cost_seconds = 50e-9;
   /// Modeled cost of the queue-status check at each phase boundary.
   double sync_cost_seconds = 2e-6;
+
+  // Degradation knobs (all fault-injection aware).
+  /// Attempts to reserve DRAM for a planned fill before the object is
+  /// pinned to NVM and the policy re-plans.
+  int reservation_retries = 3;
+  /// Copy-abort retries inside the real migration engine.
+  int migration_max_retries = 3;
+  /// Phase-boundary wait bound for run_real: if the copies a group needs
+  /// are not done within this budget (e.g. a stalled helper), the pending
+  /// requests are cancelled and the group proceeds from the source tier.
+  /// 0 keeps the original unbounded wait.
+  double migration_wait_deadline_seconds = 0.0;
+  /// Override for the measured planning cost, making reports
+  /// byte-reproducible (golden determinism tests). nullopt keeps the
+  /// steady_clock measurement.
+  std::optional<double> fixed_decision_seconds;
 };
 
 class Runtime {
@@ -68,6 +84,14 @@ class Runtime {
                 const std::vector<task::ScheduledCopy>& schedule,
                 unsigned workers);
 
+  /// Real execution with full degradation bookkeeping: the report carries
+  /// verify() in `verified` plus the registry/engine failure counters.
+  /// Only deterministic quantities are filled in, so two runs with the
+  /// same seeds serialize identically.
+  RunReport run_real_report(Application& app,
+                            const std::vector<task::ScheduledCopy>& schedule,
+                            unsigned workers);
+
   const memsim::Machine& machine() const noexcept { return config_.machine; }
   const RuntimeConfig& config() const noexcept { return config_; }
 
@@ -80,6 +104,16 @@ class Runtime {
 
   /// Allocate the app's objects and build the object inventory.
   AppState prepare(Application& app, bool huge_tiers);
+
+  /// Run the policy, then validate that every planned DRAM fill can
+  /// actually reserve its space (an armed FaultInjector may veto
+  /// reservations). An object whose reservation keeps failing is pinned to
+  /// NVM and the policy re-plans without it — the paper runtime's graceful
+  /// degradation to a smaller effective DRAM. `pinned` persists across
+  /// calls so re-profiling keeps earlier demotions.
+  PlanDecision decide_validated(Policy& policy, PlanInputs inputs,
+                                std::vector<hms::ObjectId>& pinned,
+                                RunReport& report);
 
   RuntimeConfig config_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/fault.hpp"
 #include "common/units.hpp"
 
 namespace tahoe::hms {
@@ -24,6 +25,12 @@ Arena::Arena(std::string name, std::uint64_t capacity, Backing backing)
 
 void* Arena::alloc(std::uint64_t size) {
   TAHOE_REQUIRE(size > 0, "zero-byte allocation");
+  // Chaos hook: an armed injector can make any allocation fail as if the
+  // arena were exhausted; callers must already handle nullptr, so the
+  // injected failure exercises exactly the production degradation paths.
+  if (fault::global().should_fail(fault::Site::ArenaExhaustion)) {
+    return nullptr;
+  }
   const std::uint64_t need = round_up(size, kCacheLine);
   const std::lock_guard<std::mutex> lock(mutex_);
   // First fit over free ranges ordered by offset.

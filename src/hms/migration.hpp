@@ -17,7 +17,10 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <unordered_set>
+#include <vector>
 
 #include "hms/registry.hpp"
 
@@ -36,18 +39,43 @@ class MigrationEngine {
  public:
   enum class Mode { HelperThread, Inline };
 
+  /// Degradation knobs. Defaults match the pre-fault-injection engine
+  /// except that transient copy aborts are now retried.
+  struct Options {
+    Mode mode = Mode::HelperThread;
+    /// Retries after a transient (aborted) copy before giving up on the
+    /// request and pinning its object to NVM.
+    int max_retries = 3;
+    /// Initial backoff between retries; doubles per attempt. Only slept in
+    /// HelperThread mode so inline (simulation) runs stay instantaneous.
+    double retry_backoff_seconds = 50e-6;
+  };
+
   MigrationEngine(ObjectRegistry& registry, Mode mode);
+  MigrationEngine(ObjectRegistry& registry, const Options& options);
   ~MigrationEngine();
 
   MigrationEngine(const MigrationEngine&) = delete;
   MigrationEngine& operator=(const MigrationEngine&) = delete;
 
   /// Enqueue a request (helper mode) or execute it immediately (inline
-  /// mode). Never blocks in helper mode.
+  /// mode). Never blocks in helper mode. DRAM-bound requests for objects
+  /// that earlier degraded to pinned-NVM are dropped (counted as
+  /// cancelled).
   void enqueue(const MigrationRequest& req);
 
   /// Block until every request with tag <= `tag` has been processed.
   void wait_tag(std::uint64_t tag);
+
+  /// Like wait_tag() but gives up after `timeout_seconds`. Returns true if
+  /// the tag completed, false on timeout (e.g. a stalled copy); the caller
+  /// can then cancel_tag() and proceed degraded.
+  bool wait_tag_for(std::uint64_t tag, double timeout_seconds);
+
+  /// Remove every *queued* request with tag <= `tag` that has not started
+  /// executing. The in-flight request (if any) is never interrupted — its
+  /// copy completes safely. Returns the number of requests cancelled.
+  std::size_t cancel_tag(std::uint64_t tag);
 
   /// Block until the queue is fully drained.
   void drain();
@@ -56,22 +84,42 @@ class MigrationEngine {
   /// prevented these; counted for diagnostics).
   std::uint64_t rejected() const;
 
+  /// Retry attempts after transient copy aborts.
+  std::uint64_t retried() const;
+  /// Requests abandoned after exhausting retries.
+  std::uint64_t aborted() const;
+  /// Requests cancelled before execution (cancel_tag or pinned-object drop).
+  std::uint64_t cancelled() const;
+
+  /// Objects pinned to NVM after repeated copy failures, in pin order.
+  std::vector<ObjectId> degraded_objects() const;
+  bool is_pinned(ObjectId id) const;
+
   std::size_t pending() const;
-  Mode mode() const noexcept { return mode_; }
+  Mode mode() const noexcept { return options_.mode; }
+  const Options& options() const noexcept { return options_; }
 
  private:
   void worker_loop();
   void execute(const MigrationRequest& req);
 
   ObjectRegistry& registry_;
-  Mode mode_;
+  Options options_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_enqueue_;
   std::condition_variable cv_done_;
   std::deque<MigrationRequest> queue_;
+  /// Request currently executing on the helper thread; wait_tag/drain/
+  /// pending treat it as outstanding even though it left the queue.
+  std::optional<MigrationRequest> active_;
   std::uint64_t completed_tag_ = 0;  // all tags <= this are done
   std::uint64_t rejected_ = 0;
+  std::uint64_t retried_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::unordered_set<ObjectId> nvm_pinned_;
+  std::vector<ObjectId> pin_order_;
   bool stop_ = false;
   std::thread worker_;
 };

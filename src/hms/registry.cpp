@@ -3,8 +3,19 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "common/fault.hpp"
+#include "common/log.hpp"
+#include "trace/counters.hpp"
 
 namespace tahoe::hms {
+namespace {
+
+/// Per-attempt retries before giving up on a tier. Injected allocation
+/// failures are transient by construction, so a small bound suffices;
+/// genuine exhaustion fails every attempt and falls through to fallback.
+constexpr int kAllocAttempts = 3;
+
+}  // namespace
 
 ObjectRegistry::ObjectRegistry(const std::vector<std::uint64_t>& tier_capacities,
                                Backing backing)
@@ -36,9 +47,17 @@ ObjectId ObjectRegistry::create(const std::string& name, std::uint64_t bytes,
         (c + 1 == num_chunks) ? bytes - assigned : base;
     assigned += sz;
     obj->chunks[c].bytes = sz;
-    obj->chunks[c].device = initial;
-    void* p = arenas_[initial]->alloc(sz);
-    TAHOE_REQUIRE(p != nullptr, "tier cannot hold object '" + name + "'");
+    memsim::DeviceId chosen = initial;
+    void* p = alloc_with_fallback(sz, initial, chosen);
+    if (p == nullptr) {
+      // Roll back chunks already placed so a failed create leaks nothing.
+      for (std::size_t k = 0; k < c; ++k) {
+        arenas_[obj->chunks[k].device]->free(
+            obj->chunks[k].ptr.load(std::memory_order_acquire));
+      }
+      TAHOE_REQUIRE(false, "no tier can hold object '" + name + "'");
+    }
+    obj->chunks[c].device = chosen;
     if (backing_ == Backing::Real) std::memset(p, 0, sz);
     obj->chunks[c].ptr.store(static_cast<std::byte*>(p),
                              std::memory_order_release);
@@ -111,8 +130,44 @@ void ObjectRegistry::register_alias(ObjectId id, void** slot) {
   *slot = obj.chunks.front().ptr.load(std::memory_order_acquire);
 }
 
+void* ObjectRegistry::alloc_with_fallback(std::uint64_t bytes,
+                                          memsim::DeviceId initial,
+                                          memsim::DeviceId& chosen) {
+  // Tier order: requested tier first, then the others in device order
+  // (DRAM-requested objects degrade to NVM, mirroring the runtime's
+  // fallback-to-slow-tier policy; never silently "upgrade" capacity).
+  std::vector<memsim::DeviceId> order{initial};
+  for (memsim::DeviceId d = 0; d < arenas_.size(); ++d) {
+    if (d != initial) order.push_back(d);
+  }
+  fault::FaultInjector& inj = fault::global();
+  for (const memsim::DeviceId dev : order) {
+    for (int attempt = 0; attempt < kAllocAttempts; ++attempt) {
+      if (inj.should_fail(fault::Site::AllocFailure)) continue;
+      void* p = arenas_[dev]->alloc(bytes);
+      if (p != nullptr) {
+        if (dev != initial) {
+          ++stats_.alloc_fallbacks;
+          trace::global_counters().get("alloc.fallbacks").increment();
+          TAHOE_WARN("allocation of " << bytes << " B fell back from tier "
+                                      << initial << " to tier " << dev);
+        }
+        chosen = dev;
+        return p;
+      }
+    }
+  }
+  return nullptr;
+}
+
 bool ObjectRegistry::migrate_chunk(ObjectId id, std::size_t chunk,
                                    memsim::DeviceId dst) {
+  const MigrateResult res = try_migrate_chunk(id, chunk, dst);
+  return res == MigrateResult::kMoved || res == MigrateResult::kAlreadyThere;
+}
+
+MigrateResult ObjectRegistry::try_migrate_chunk(ObjectId id, std::size_t chunk,
+                                                memsim::DeviceId dst) {
   TAHOE_REQUIRE(dst < arenas_.size(), "destination device out of range");
   const std::lock_guard<std::mutex> lock(mutex_);
   TAHOE_REQUIRE(id < objects_.size() && objects_[id] != nullptr,
@@ -120,12 +175,30 @@ bool ObjectRegistry::migrate_chunk(ObjectId id, std::size_t chunk,
   DataObject& obj = *objects_[id];
   TAHOE_REQUIRE(chunk < obj.chunks.size(), "chunk index out of range");
   Chunk& c = obj.chunks[chunk];
-  if (c.device == dst) return true;  // already there
+  if (c.device == dst) return MigrateResult::kAlreadyThere;
 
   void* fresh = arenas_[dst]->alloc(c.bytes);
   if (fresh == nullptr) {
     ++stats_.failed_no_space;
-    return false;
+    trace::global_counters().get("migrate.failed_no_space").increment();
+    if (id >= warned_no_space_.size()) warned_no_space_.resize(id + 1, false);
+    if (!warned_no_space_[id]) {
+      warned_no_space_[id] = true;
+      TAHOE_WARN("migration of '" << obj.name << "' (object " << id
+                                  << ") to tier " << dst
+                                  << " refused: no space (warning once; see "
+                                     "failed_no_space in the run report)");
+    }
+    return MigrateResult::kNoSpace;
+  }
+  // Chaos hook: abort the copy after the destination allocation succeeded —
+  // the hardest point to unwind. The fresh block is released and the chunk
+  // stays fully valid on its source tier.
+  if (fault::global().should_fail(fault::Site::MigrationAbort)) {
+    arenas_[dst]->free(fresh);
+    ++stats_.copy_aborts;
+    trace::global_counters().get("migrate.copy_aborts").increment();
+    return MigrateResult::kAborted;
   }
   std::byte* old = c.ptr.load(std::memory_order_acquire);
   if (backing_ == Backing::Real) std::memcpy(fresh, old, c.bytes);
@@ -140,7 +213,7 @@ bool ObjectRegistry::migrate_chunk(ObjectId id, std::size_t chunk,
   stats_.bytes_moved += c.bytes;
   if (dst == memsim::kDram) ++stats_.to_dram;
   if (dst == memsim::kNvm) ++stats_.to_nvm;
-  return true;
+  return MigrateResult::kMoved;
 }
 
 bool ObjectRegistry::migrate(ObjectId id, memsim::DeviceId dst) {

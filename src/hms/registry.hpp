@@ -27,7 +27,14 @@ struct MigrationStats {
   std::uint64_t to_dram = 0;           ///< moves NVM -> DRAM
   std::uint64_t to_nvm = 0;            ///< moves DRAM -> NVM
   std::uint64_t failed_no_space = 0;   ///< refused: destination arena full
+  std::uint64_t copy_aborts = 0;       ///< copies aborted mid-flight
+  std::uint64_t alloc_fallbacks = 0;   ///< creates that fell back to another tier
 };
+
+/// Outcome of a single chunk-migration attempt. Aborts are transient
+/// (worth retrying); no-space is not (retrying without eviction cannot
+/// succeed).
+enum class MigrateResult { kMoved, kAlreadyThere, kNoSpace, kAborted };
 
 class ObjectRegistry {
  public:
@@ -41,8 +48,11 @@ class ObjectRegistry {
   ObjectRegistry& operator=(const ObjectRegistry&) = delete;
 
   /// Allocate a data object of `bytes`, split into `num_chunks` equal-ish
-  /// chunks, initially placed on `initial`. Throws if the tier cannot hold
-  /// the object.
+  /// chunks, initially placed on `initial`. When `initial` cannot hold a
+  /// chunk (genuinely full, or an injected allocation fault), the chunk
+  /// gracefully falls back to the other tiers and the actual device is
+  /// recorded (see MigrationStats::alloc_fallbacks). Throws only when no
+  /// tier can hold it.
   ObjectId create(const std::string& name, std::uint64_t bytes,
                   memsim::DeviceId initial, std::size_t num_chunks = 1);
 
@@ -67,6 +77,11 @@ class ObjectRegistry {
   /// arena has no room.
   bool migrate_chunk(ObjectId id, std::size_t chunk, memsim::DeviceId dst);
 
+  /// Like migrate_chunk() but reports *why* a move did not happen, so the
+  /// MigrationEngine can retry transient aborts and give up on exhaustion.
+  MigrateResult try_migrate_chunk(ObjectId id, std::size_t chunk,
+                                  memsim::DeviceId dst);
+
   /// Convenience: migrate every chunk of the object.
   bool migrate(ObjectId id, memsim::DeviceId dst);
 
@@ -81,11 +96,21 @@ class ObjectRegistry {
   std::uint64_t resident_bytes(memsim::DeviceId dev) const;
 
  private:
+  /// Allocate `bytes` on `initial`, retrying through injected failures and
+  /// falling back to the other tiers (Unimem-style fallback-to-NVM
+  /// semantics). Returns nullptr only when every tier is truly full.
+  /// `chosen` receives the tier that served the allocation.
+  void* alloc_with_fallback(std::uint64_t bytes, memsim::DeviceId initial,
+                            memsim::DeviceId& chosen);
+
   Backing backing_;
   std::vector<std::unique_ptr<Arena>> arenas_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<DataObject>> objects_;  // index = ObjectId
   MigrationStats stats_;
+  /// Objects already warned about a failed DRAM reservation (warn once per
+  /// object; the counter keeps the full tally).
+  std::vector<bool> warned_no_space_;
 };
 
 /// Typed view over an unchunked object. The pointer is re-read on every

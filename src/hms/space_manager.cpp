@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/fault.hpp"
 
 namespace tahoe::hms {
 
@@ -26,6 +27,12 @@ bool SpaceManager::add(ObjectId id, std::size_t chunk, std::uint64_t bytes) {
   resident_.emplace(u, bytes);
   used_ += bytes;
   return true;
+}
+
+bool SpaceManager::try_reserve(ObjectId id, std::size_t chunk,
+                               std::uint64_t bytes) {
+  if (fault::global().should_fail(fault::Site::DramReservation)) return false;
+  return add(id, chunk, bytes);
 }
 
 std::uint64_t SpaceManager::remove(ObjectId id, std::size_t chunk) {

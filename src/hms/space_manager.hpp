@@ -33,6 +33,13 @@ class SpaceManager {
   /// Add a unit. Fails (returns false) if it does not fit.
   bool add(ObjectId id, std::size_t chunk, std::uint64_t bytes);
 
+  /// Fault-aware add() used by the runtime's plan validation: behaves
+  /// exactly like add(), except an armed FaultInjector may veto the
+  /// reservation (Site::DramReservation) to model racing consumers of
+  /// DRAM space. Planner-internal what-if state keeps using add(), whose
+  /// invariants stay exact.
+  bool try_reserve(ObjectId id, std::size_t chunk, std::uint64_t bytes);
+
   /// Remove a unit (no-op if absent). Returns bytes released.
   std::uint64_t remove(ObjectId id, std::size_t chunk = 0);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/fault.hpp"
 
 namespace tahoe::memsim {
 
@@ -42,6 +43,15 @@ SampledCounts Sampler::sample(const ObjectTraffic& traffic,
   out.samples_with_access =
       std::max(out.samples_with_access, std::min(out.total_samples,
                                                  out.accesses()));
+  // Chaos hook: spurious PEBS hits (mis-attributed samples). Inflates the
+  // observed hotness without touching the true traffic, so planners must
+  // tolerate noisy profiles gracefully.
+  if (fault::FaultInjector& inj = fault::global(); inj.armed()) {
+    const std::uint64_t spurious = inj.spurious_samples(out.total_samples);
+    out.loads += spurious;
+    out.samples_with_access =
+        std::min(out.total_samples, out.samples_with_access + spurious);
+  }
   return out;
 }
 

@@ -117,6 +117,18 @@ void GraphBuilder::apply_access(const Unit& unit, TaskId tid, bool writes) {
   }
 }
 
+void GraphBuilder::consult_access(const UnitState& st, TaskId tid,
+                                  bool writes) {
+  if (writes) {
+    for (TaskId r : st.readers_since_write) add_edge(r, tid);
+    if (st.readers_since_write.empty() && st.last_writer) {
+      add_edge(*st.last_writer, tid);
+    }
+  } else {
+    if (st.last_writer) add_edge(*st.last_writer, tid);
+  }
+}
+
 TaskId GraphBuilder::add_task(Task t) {
   TAHOE_REQUIRE(group_open_, "add_task outside of a group");
   const auto tid = static_cast<TaskId>(graph_.tasks_.size());
@@ -141,9 +153,13 @@ TaskId GraphBuilder::add_task(Task t) {
       }
       apply_access(unit, tid, a.writes());
     } else {
-      // A chunk access also conflicts with the whole-object stream.
-      if (unit_state_.contains(Unit{a.object, kAllChunks})) {
-        apply_access(Unit{a.object, kAllChunks}, tid, a.writes());
+      // A chunk access also conflicts with the whole-object stream, but
+      // must not register in it: same-chunk ordering lives in the chunk's
+      // own unit, and registering here would make later accesses to other
+      // chunks of the object conflict with this one spuriously.
+      if (const auto it = unit_state_.find(Unit{a.object, kAllChunks});
+          it != unit_state_.end()) {
+        consult_access(it->second, tid, a.writes());
       }
       apply_access(unit, tid, a.writes());
     }

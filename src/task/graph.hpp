@@ -108,6 +108,11 @@ class GraphBuilder {
   /// Apply one access to the dependence state of `unit`.
   void apply_access(const std::pair<hms::ObjectId, std::size_t>& unit,
                     TaskId tid, bool writes);
+  /// Add the edges an access would get from `st` without registering in it.
+  /// Used to order chunk accesses against the whole-object stream: the
+  /// stream must stay kAllChunks-only, or accesses to sibling chunks would
+  /// pick each other up as spurious conflicts through it.
+  void consult_access(const UnitState& st, TaskId tid, bool writes);
 
   TaskGraph graph_;
   bool group_open_ = false;

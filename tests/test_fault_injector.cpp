@@ -1,0 +1,183 @@
+// Deterministic fault injection: seeded streams, per-site independence,
+// disarm fast path, counts, and flag wiring.
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/flags.hpp"
+
+namespace tahoe::fault {
+namespace {
+
+std::vector<bool> draw(FaultInjector& inj, Site site, int n) {
+  std::vector<bool> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(inj.should_fail(site));
+  return out;
+}
+
+TEST(FaultInjector, DisarmedNeverFires) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.armed());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.should_fail(Site::ArenaExhaustion));
+  }
+  EXPECT_EQ(inj.total_injected(), 0u);
+  EXPECT_DOUBLE_EQ(inj.stall_seconds(), 0.0);
+  EXPECT_EQ(inj.spurious_samples(12345), 0u);
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  FaultConfig cfg;
+  cfg.seed = 42;
+  cfg.migration_abort = 0.3;
+  FaultInjector a;
+  FaultInjector b;
+  a.configure(cfg);
+  b.configure(cfg);
+  EXPECT_EQ(draw(a, Site::MigrationAbort, 500),
+            draw(b, Site::MigrationAbort, 500));
+  EXPECT_EQ(a.injected(Site::MigrationAbort), b.injected(Site::MigrationAbort));
+  EXPECT_GT(a.injected(Site::MigrationAbort), 0u);
+}
+
+TEST(FaultInjector, ReconfigureResetsStreamsAndCounts) {
+  FaultConfig cfg;
+  cfg.seed = 42;
+  cfg.alloc_failure = 0.5;
+  FaultInjector inj;
+  inj.configure(cfg);
+  const std::vector<bool> first = draw(inj, Site::AllocFailure, 200);
+  inj.configure(cfg);  // same seed -> identical replay
+  EXPECT_EQ(inj.injected(Site::AllocFailure), 0u);
+  EXPECT_EQ(draw(inj, Site::AllocFailure, 200), first);
+}
+
+TEST(FaultInjector, SitesAreIndependentStreams) {
+  // Arming a second site must not perturb the first site's schedule —
+  // that is what makes fault scenarios composable.
+  FaultConfig lone;
+  lone.seed = 7;
+  lone.arena_exhaustion = 0.25;
+  FaultInjector a;
+  a.configure(lone);
+  const std::vector<bool> alone = draw(a, Site::ArenaExhaustion, 300);
+
+  FaultConfig both = lone;
+  both.migration_abort = 0.9;
+  FaultInjector b;
+  b.configure(both);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 300; ++i) {
+    (void)b.should_fail(Site::MigrationAbort);
+    interleaved.push_back(b.should_fail(Site::ArenaExhaustion));
+  }
+  EXPECT_EQ(interleaved, alone);
+}
+
+TEST(FaultInjector, CountsMatchFirings) {
+  FaultConfig cfg;
+  cfg.seed = 99;
+  cfg.dram_reservation = 0.4;
+  cfg.copy_stall = 0.2;
+  cfg.copy_stall_seconds = 0.25;
+  FaultInjector inj;
+  inj.configure(cfg);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (inj.should_fail(Site::DramReservation)) ++fired;
+  }
+  EXPECT_EQ(inj.injected(Site::DramReservation), fired);
+  std::uint64_t stalls = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double s = inj.stall_seconds();
+    if (s > 0.0) {
+      EXPECT_DOUBLE_EQ(s, 0.25);
+      ++stalls;
+    }
+  }
+  EXPECT_EQ(inj.injected(Site::CopyStall), stalls);
+  EXPECT_EQ(inj.total_injected(), fired + stalls);
+}
+
+TEST(FaultInjector, SpuriousSamplesBoundedByRate) {
+  FaultConfig cfg;
+  cfg.seed = 5;
+  cfg.sampler_noise = 0.1;
+  FaultInjector inj;
+  inj.configure(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(inj.spurious_samples(1000), 100u);
+  }
+  EXPECT_EQ(inj.spurious_samples(0), 0u);
+}
+
+TEST(FaultInjector, RejectsRatesOutsideUnitInterval) {
+  FaultInjector inj;
+  FaultConfig bad;
+  bad.migration_abort = 1.5;
+  EXPECT_THROW(inj.configure(bad), ContractError);
+  bad.migration_abort = -0.1;
+  EXPECT_THROW(inj.configure(bad), ContractError);
+}
+
+TEST(FaultInjector, ArmTracksConfiguredRates) {
+  FaultInjector inj;
+  FaultConfig cfg;
+  inj.configure(cfg);  // all-zero rates: armed stays off
+  EXPECT_FALSE(inj.armed());
+  cfg.copy_stall = 0.01;
+  inj.configure(cfg);
+  EXPECT_TRUE(inj.armed());
+  inj.disarm();
+  EXPECT_FALSE(inj.armed());
+}
+
+TEST(FaultFlags, RoundTripThroughParser) {
+  Flags flags;
+  register_flags(flags);
+  std::vector<const char*> argv{"prog",
+                                "--fault-seed=123",
+                                "--fault-arena-exhaustion=0.01",
+                                "--fault-alloc-failure=0.02",
+                                "--fault-migration-abort=0.03",
+                                "--fault-dram-reservation=0.04",
+                                "--fault-copy-stall=0.05",
+                                "--fault-copy-stall-ms=2.5",
+                                "--fault-sampler-noise=0.06"};
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  const FaultConfig cfg = config_from_flags(flags);
+  EXPECT_EQ(cfg.seed, 123u);
+  EXPECT_DOUBLE_EQ(cfg.arena_exhaustion, 0.01);
+  EXPECT_DOUBLE_EQ(cfg.alloc_failure, 0.02);
+  EXPECT_DOUBLE_EQ(cfg.migration_abort, 0.03);
+  EXPECT_DOUBLE_EQ(cfg.dram_reservation, 0.04);
+  EXPECT_DOUBLE_EQ(cfg.copy_stall, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.copy_stall_seconds, 2.5e-3);
+  EXPECT_DOUBLE_EQ(cfg.sampler_noise, 0.06);
+  EXPECT_TRUE(cfg.any());
+}
+
+TEST(FaultFlags, DefaultsLeaveGlobalDisarmed) {
+  Flags flags;
+  register_flags(flags);
+  std::vector<const char*> argv{"prog"};
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  configure_from_flags(flags);
+  EXPECT_FALSE(global().armed());
+}
+
+TEST(FaultInjector, SiteNamesAreStable) {
+  EXPECT_STREQ(site_name(Site::ArenaExhaustion), "arena_exhaustion");
+  EXPECT_STREQ(site_name(Site::AllocFailure), "alloc_failure");
+  EXPECT_STREQ(site_name(Site::MigrationAbort), "migration_abort");
+  EXPECT_STREQ(site_name(Site::DramReservation), "dram_reservation");
+  EXPECT_STREQ(site_name(Site::CopyStall), "copy_stall");
+  EXPECT_STREQ(site_name(Site::SamplerNoise), "sampler_noise");
+}
+
+}  // namespace
+}  // namespace tahoe::fault

@@ -1,0 +1,157 @@
+// Property-based stress test for TaskGraph dependence derivation: hundreds
+// of randomized access sets checked against a brute-force RAW/WAR/WAW
+// oracle. The builder may dedup or transitively reduce edges, so the
+// contract is ordering, not edge identity: every conflicting task pair must
+// be ordered by a directed path, and every edge must be justified by a
+// direct conflict.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "task/graph.hpp"
+
+namespace tahoe {
+namespace {
+
+/// Do two declared accesses touch overlapping storage? A whole-object
+/// access (kAllChunks) overlaps every chunk of that object.
+bool overlaps(const task::DataAccess& a, const task::DataAccess& b) {
+  if (a.object != b.object) return false;
+  return a.chunk == task::kAllChunks || b.chunk == task::kAllChunks ||
+         a.chunk == b.chunk;
+}
+
+/// OpenMP-style conflict: overlapping storage and at least one writer.
+bool conflicts(const task::Task& x, const task::Task& y) {
+  for (const task::DataAccess& a : x.accesses) {
+    for (const task::DataAccess& b : y.accesses) {
+      if (overlaps(a, b) && (a.writes() || b.writes())) return true;
+    }
+  }
+  return false;
+}
+
+/// Reachability matrix via forward BFS from every task. Graphs here are
+/// small (tens of tasks), so the O(T * E) cost is negligible.
+std::vector<std::vector<bool>> reachability(const task::TaskGraph& g) {
+  const std::size_t n = g.num_tasks();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (task::TaskId s = 0; s < n; ++s) {
+    std::deque<task::TaskId> frontier{s};
+    while (!frontier.empty()) {
+      const task::TaskId t = frontier.front();
+      frontier.pop_front();
+      for (const task::TaskId next : g.successors(t)) {
+        if (!reach[s][next]) {
+          reach[s][next] = true;
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+/// Random graph with chunked, whole-object, and mixed accesses.
+task::TaskGraph random_graph(Rng& rng) {
+  const std::size_t groups = 1 + rng.next_below(5);
+  const std::size_t objects = 1 + rng.next_below(4);
+  const std::size_t chunks = 1 + rng.next_below(3);
+  task::GraphBuilder gb;
+  for (std::size_t g = 0; g < groups; ++g) {
+    gb.begin_group("g" + std::to_string(g));
+    const std::size_t tasks = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < tasks; ++i) {
+      task::Task t;
+      const std::size_t n_acc = 1 + rng.next_below(3);
+      for (std::size_t a = 0; a < n_acc; ++a) {
+        task::DataAccess acc;
+        acc.object = static_cast<hms::ObjectId>(rng.next_below(objects));
+        // 1-in-4 accesses cover the whole object, the rest one chunk.
+        acc.chunk = rng.next_below(4) == 0 ? task::kAllChunks
+                                           : rng.next_below(chunks);
+        acc.mode = static_cast<task::AccessMode>(rng.next_below(3));
+        acc.traffic.loads = 1 + rng.next_below(100);
+        acc.traffic.footprint = 64 * (1 + rng.next_below(100));
+        t.accesses.push_back(acc);
+      }
+      gb.add_task(std::move(t));
+    }
+  }
+  return gb.build();
+}
+
+TEST(GraphOracle, ConflictingPairsAreAlwaysOrdered) {
+  Rng rng(0xdead5eed);
+  for (int trial = 0; trial < 300; ++trial) {
+    const task::TaskGraph g = random_graph(rng);
+    const auto reach = reachability(g);
+    for (task::TaskId i = 0; i < g.num_tasks(); ++i) {
+      for (task::TaskId j = i + 1; j < g.num_tasks(); ++j) {
+        if (conflicts(g.task(i), g.task(j))) {
+          ASSERT_TRUE(reach[i][j])
+              << "trial " << trial << ": conflicting tasks " << i << " -> "
+              << j << " not ordered by any path";
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphOracle, EveryEdgeIsJustifiedByADirectConflict) {
+  Rng rng(0xfeedbead);
+  for (int trial = 0; trial < 300; ++trial) {
+    const task::TaskGraph g = random_graph(rng);
+    for (task::TaskId i = 0; i < g.num_tasks(); ++i) {
+      for (const task::TaskId j : g.successors(i)) {
+        ASSERT_LT(i, j) << "trial " << trial << ": edge against program order";
+        ASSERT_TRUE(conflicts(g.task(i), g.task(j)))
+            << "trial " << trial << ": spurious edge " << i << " -> " << j;
+      }
+    }
+    ASSERT_TRUE(g.edges_respect_program_order()) << "trial " << trial;
+  }
+}
+
+TEST(GraphOracle, PredecessorCountsMatchInEdges) {
+  Rng rng(0xabcdef01);
+  for (int trial = 0; trial < 200; ++trial) {
+    const task::TaskGraph g = random_graph(rng);
+    std::vector<std::uint32_t> in_degree(g.num_tasks(), 0);
+    std::size_t edges = 0;
+    for (task::TaskId i = 0; i < g.num_tasks(); ++i) {
+      for (const task::TaskId j : g.successors(i)) {
+        ++in_degree[j];
+        ++edges;
+      }
+    }
+    EXPECT_EQ(edges, g.num_edges()) << "trial " << trial;
+    for (task::TaskId t = 0; t < g.num_tasks(); ++t) {
+      ASSERT_EQ(in_degree[t], g.num_predecessors(t))
+          << "trial " << trial << " task " << t;
+    }
+  }
+}
+
+TEST(GraphOracle, GroupReferenceIndexMatchesAccessSets) {
+  Rng rng(0x5eedf00d);
+  for (int trial = 0; trial < 200; ++trial) {
+    const task::TaskGraph g = random_graph(rng);
+    for (const auto& [obj, chunk] : g.referenced_units()) {
+      const std::vector<task::GroupId> via_index =
+          g.groups_referencing(obj, chunk);
+      for (task::GroupId grp = 0; grp < g.num_groups(); ++grp) {
+        const bool listed = std::find(via_index.begin(), via_index.end(),
+                                      grp) != via_index.end();
+        EXPECT_EQ(listed, g.group_references(grp, obj, chunk))
+            << "trial " << trial << " unit (" << obj << ", " << chunk
+            << ") group " << grp;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tahoe

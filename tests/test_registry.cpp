@@ -133,7 +133,17 @@ TEST(Registry, ContractViolations) {
   ObjectRegistry reg(caps());
   EXPECT_THROW(reg.create("v", 0, memsim::kNvm), ContractError);
   EXPECT_THROW(reg.create("v", 64, 9), ContractError);
-  EXPECT_THROW(reg.create("v", 2 * kMiB, memsim::kDram), ContractError);
+  // Larger than every tier: even fallback cannot place it.
+  EXPECT_THROW(reg.create("v", 128 * kMiB, memsim::kDram), ContractError);
+}
+
+TEST(Registry, CreateFallsBackToNvmWhenDramIsFull) {
+  ObjectRegistry reg(caps());
+  // 2 MiB cannot fit the 1 MiB DRAM tier; graceful degradation lands it
+  // on NVM instead of aborting the application.
+  const ObjectId id = reg.create("v", 2 * kMiB, memsim::kDram);
+  EXPECT_EQ(reg.get(id).device(), memsim::kNvm);
+  EXPECT_EQ(reg.stats().alloc_fallbacks, 1u);
 }
 
 }  // namespace
