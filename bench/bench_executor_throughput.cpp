@@ -1,0 +1,134 @@
+// EXECUTOR: raw task-throughput of the work-stealing executor across a
+// worker sweep, in two regimes: empty tasks (pure scheduling overhead —
+// push/pop/steal/park costs dominate) and small kernels (a few hundred
+// flops per task, the paper's fine-grained task-parallel regime). Each
+// (mode, workers) cell reports the best rep so that one descheduled rep
+// on a shared box does not poison the number.
+//
+//   bench/bench_executor_throughput [--tasks N] [--reps R] [--quick]
+//       [--csv] [--report-json FILE]
+//
+// With --report-json every cell appends one RunReport JSON line
+// (workload "executor_throughput", policy = mode, strategy = worker
+// count, iteration_seconds = per-rep wall times) plus the executor's
+// steal/park counters from the global counter registry.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "task/executor.hpp"
+#include "trace/counters.hpp"
+
+namespace {
+
+using namespace tahoe;
+
+// volatile sink keeps the kernel loop from folding away without pulling
+// in google-benchmark for this harness.
+volatile double g_sink = 0.0;
+void benchmark_sink(double v) { g_sink = v; }
+
+task::TaskGraph make_graph(std::size_t tasks, bool kernel) {
+  task::GraphBuilder gb;
+  gb.begin_group("throughput");
+  for (std::size_t i = 0; i < tasks; ++i) {
+    task::Task t;
+    task::DataAccess a;
+    // Distinct objects: an embarrassingly parallel graph. Scheduling is
+    // the only serialization left, which is exactly what we measure.
+    a.object = static_cast<hms::ObjectId>(i);
+    a.mode = task::AccessMode::Write;
+    a.traffic.loads = 1;
+    a.traffic.footprint = 64;
+    t.accesses = {a};
+    if (kernel) {
+      t.work = [i] {
+        double acc = static_cast<double>(i);
+        for (int k = 0; k < 256; ++k) acc = acc * 1.0000001 + 0.5;
+        benchmark_sink(acc);
+      };
+    } else {
+      t.work = [] {};
+    }
+    gb.add_task(std::move(t));
+  }
+  return gb.build();
+}
+
+double run_once(task::Executor& ex, const task::TaskGraph& g) {
+  const auto begin = std::chrono::steady_clock::now();
+  ex.run(g);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define_int("tasks", 100000, "tasks per rep");
+  flags.define_int("reps", 5, "repetitions per (mode, workers) cell");
+  flags.define_bool("quick", false, "CI smoke: fewer tasks, reps, workers");
+  flags.define_bool("csv", false, "emit CSV after the table");
+  flags.define_string("report-json", "",
+                      "append one RunReport JSON line per cell");
+  flags.parse(argc, argv);
+
+  const bool quick = flags.get_bool("quick");
+  const std::size_t tasks = quick
+                                ? 20000
+                                : static_cast<std::size_t>(
+                                      flags.get_int("tasks"));
+  const int reps = quick ? 2 : static_cast<int>(flags.get_int("reps"));
+  std::vector<unsigned> workers = {1, 2, 4, 8, 16, 32, 64};
+  if (quick) workers = {1, 4, 16};
+
+  Table table({"mode", "workers", "best Mtasks/s", "mean Mtasks/s",
+               "steals", "parks"});
+  for (const bool kernel : {false, true}) {
+    const std::string mode = kernel ? "kernel" : "empty";
+    const task::TaskGraph g = make_graph(tasks, kernel);
+    for (const unsigned w : workers) {
+      trace::CounterRegistry& reg = trace::global_counters();
+      const std::uint64_t steals0 = reg.get("executor.steals").value();
+      const std::uint64_t parks0 = reg.get("executor.parks").value();
+      core::RunReport report;
+      report.workload = "executor_throughput";
+      report.policy = mode;
+      report.strategy = std::to_string(w) + "w";
+      double best = 0.0;
+      double sum = 0.0;
+      {
+        task::Executor ex(w);
+        for (int r = 0; r < reps; ++r) {
+          const double secs = run_once(ex, g);
+          report.iteration_seconds.push_back(secs);
+          const double rate = static_cast<double>(tasks) / secs;
+          best = std::max(best, rate);
+          sum += rate;
+        }
+        report.tasks_executed = ex.stats().tasks_run;
+      }
+      report.compute_seconds = 0.0;
+      for (const double s : report.iteration_seconds) {
+        report.compute_seconds += s;
+      }
+      table.add_row({mode, std::to_string(w), Table::num(best / 1e6),
+                     Table::num(sum / reps / 1e6),
+                     std::to_string(reg.get("executor.steals").value() -
+                                    steals0),
+                     std::to_string(reg.get("executor.parks").value() -
+                                    parks0)});
+      bench::append_report_json(report, flags.get_string("report-json"));
+    }
+  }
+  bench::emit("executor task throughput (" + std::to_string(tasks) +
+                  " independent tasks/rep, best of " + std::to_string(reps) +
+                  ")",
+              table, flags.get_bool("csv"));
+  return 0;
+}

@@ -1,7 +1,10 @@
 #include "common/flags.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 #include "common/assert.hpp"
 
@@ -60,12 +63,21 @@ std::vector<std::string> Flags::parse(int argc, const char* const* argv) {
       value = arg.substr(eq + 1);
       has_value = true;
     }
+    TAHOE_REQUIRE(!name.empty(),
+                  "bare '--' is not a flag; expected --name or --name=value");
     auto it = entries_.find(name);
     TAHOE_REQUIRE(it != entries_.end(), "unknown flag --" + name);
     Entry& e = it->second;
     if (!has_value) {
       if (e.kind == Kind::Bool) {
-        value = "true";
+        // Bare --flag means true, but a following true/false token belongs
+        // to the flag (the two-token form) rather than the positionals.
+        const std::string_view next = i + 1 < argc ? argv[i + 1] : "";
+        if (next == "true" || next == "false") {
+          value = argv[++i];
+        } else {
+          value = "true";
+        }
       } else {
         TAHOE_REQUIRE(i + 1 < argc, "flag --" + name + " needs a value");
         value = argv[++i];
@@ -74,13 +86,19 @@ std::vector<std::string> Flags::parse(int argc, const char* const* argv) {
     // Validate by round-tripping through the typed getters' parsers.
     if (e.kind == Kind::Int) {
       char* end = nullptr;
+      errno = 0;
       (void)std::strtoll(value.c_str(), &end, 10);
-      TAHOE_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+      TAHOE_REQUIRE(end != nullptr && *end == '\0' && !value.empty() &&
+                        errno != ERANGE,
                     "flag --" + name + " expects an integer, got '" + value + "'");
     } else if (e.kind == Kind::Double) {
       char* end = nullptr;
-      (void)std::strtod(value.c_str(), &end);
-      TAHOE_REQUIRE(end != nullptr && *end == '\0' && !value.empty(),
+      errno = 0;
+      const double parsed = std::strtod(value.c_str(), &end);
+      // ERANGE covers overflow (±HUGE_VAL) and underflow; only overflow is
+      // a lie worth rejecting — underflow to (sub)normal zero is benign.
+      TAHOE_REQUIRE(end != nullptr && *end == '\0' && !value.empty() &&
+                        !(errno == ERANGE && std::isinf(parsed)),
                     "flag --" + name + " expects a number, got '" + value + "'");
     } else if (e.kind == Kind::Bool) {
       TAHOE_REQUIRE(value == "true" || value == "false",

@@ -1,7 +1,9 @@
 // Tiny command-line flag parser for the benchmark/example binaries.
 //
-// Syntax: --name=value or --name value; bare --flag sets a bool to true.
-// Unknown flags are an error so that typos in sweep scripts fail loudly.
+// Syntax: --name=value or --name value; bare --flag sets a bool to true,
+// and a bool flag followed by a literal true/false token consumes it
+// (--csv false). Unknown flags, bare "--", and out-of-range numeric values
+// are errors so that typos in sweep scripts fail loudly.
 #pragma once
 
 #include <cstdint>

@@ -45,6 +45,7 @@ void RunReport::write_json(
   w.kv("plans_degraded", plans_degraded);
   w.kv("faults_injected", faults_injected);
   w.kv("verified", verified);
+  w.kv("tasks_executed", tasks_executed);
   w.key("iteration_seconds").begin_array();
   for (const double s : iteration_seconds) w.value(s);
   w.end_array();

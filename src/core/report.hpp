@@ -34,6 +34,12 @@ struct RunReport {
   std::uint64_t faults_injected = 0;      ///< injector firings during the run
   bool verified = true;                   ///< numerical check (real runs)
 
+  /// Tasks executed across all iterations (graph size × iterations; on the
+  /// real path it is the executor's own tally). Deterministic, unlike the
+  /// scheduler's steal/park counters, which are exported through the
+  /// counter registry instead.
+  std::uint64_t tasks_executed = 0;
+
   double total_seconds() const noexcept {
     return compute_seconds + overhead_seconds;
   }

@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
 #include "common/assert.hpp"
@@ -128,6 +129,52 @@ std::vector<ObjectInfo> collect_objects(const hms::ObjectRegistry& registry) {
   return out;
 }
 
+std::vector<task::TierHint> compute_tier_hints(
+    const task::TaskGraph& graph, const hms::ObjectRegistry& registry,
+    const std::vector<task::ScheduledCopy>& schedule) {
+  // Start from the registry's current placement...
+  std::map<hms::ObjectId, std::vector<memsim::DeviceId>> device;
+  for (const hms::ObjectId id : registry.live_objects()) {
+    const hms::DataObject& obj = registry.get(id);
+    std::vector<memsim::DeviceId>& d = device[id];
+    d.reserve(obj.chunks.size());
+    for (const hms::Chunk& c : obj.chunks) d.push_back(c.device);
+  }
+  // ...and replay the plan's copies group by group: a copy with
+  // needed_group g is complete before group g runs, so tasks of group >= g
+  // see its destination tier.
+  std::vector<std::vector<const task::ScheduledCopy*>> due(graph.num_groups());
+  for (const task::ScheduledCopy& c : schedule) {
+    if (c.needed_group < graph.num_groups()) due[c.needed_group].push_back(&c);
+  }
+  std::vector<task::TierHint> hints(graph.num_tasks(), task::TierHint::kHot);
+  for (task::GroupId g = 0; g < graph.num_groups(); ++g) {
+    for (const task::ScheduledCopy* c : due[g]) {
+      auto it = device.find(c->object);
+      if (it == device.end()) continue;
+      if (c->chunk < it->second.size()) it->second[c->chunk] = c->dst;
+    }
+    const task::Group& grp = graph.group(g);
+    for (task::TaskId id = grp.first_task; id < grp.last_task; ++id) {
+      bool nvm_bound = false;
+      for (const task::DataAccess& a : graph.task(id).accesses) {
+        if (!a.reads()) continue;
+        const auto it = device.find(a.object);
+        if (it == device.end()) continue;  // unknown object: assume hot
+        const std::vector<memsim::DeviceId>& d = it->second;
+        if (a.chunk == task::kAllChunks) {
+          for (const memsim::DeviceId dev : d) nvm_bound |= dev != memsim::kDram;
+        } else if (a.chunk < d.size()) {
+          nvm_bound |= d[a.chunk] != memsim::kDram;
+        }
+        if (nvm_bound) break;
+      }
+      if (nvm_bound) hints[id] = task::TierHint::kCold;
+    }
+  }
+  return hints;
+}
+
 Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
   TAHOE_REQUIRE(config_.profile_iterations >= 1,
                 "need at least one profiling iteration");
@@ -252,6 +299,7 @@ RunReport Runtime::run(Application& app, Policy& policy) {
         executor.run(graph, machine, state.placement, schedule, opts);
     report.iteration_seconds.push_back(sim.makespan);
     report.compute_seconds += sim.makespan;
+    report.tasks_executed += graph.num_tasks();
     report.bytes_moved += sim.bytes_copied;
     // Count only copies that moved data (no-op copies are free).
     report.migrations += sim.copies_done;
@@ -383,6 +431,7 @@ RunReport Runtime::run_static(Application& app, memsim::DeviceId tier) {
     vclock += sim.makespan;
     report.iteration_seconds.push_back(sim.makespan);
     report.compute_seconds += sim.makespan;
+    report.tasks_executed += graph.num_tasks();
   }
   return report;
 }
@@ -426,6 +475,7 @@ RunReport Runtime::run_pinned(Application& app,
     vclock += sim.makespan;
     report.iteration_seconds.push_back(sim.makespan);
     report.compute_seconds += sim.makespan;
+    report.tasks_executed += graph.num_tasks();
   }
   return report;
 }
@@ -455,6 +505,11 @@ RunReport Runtime::run_real_report(
     task::GraphBuilder builder;
     app.build_iteration(builder, iter);
     const task::TaskGraph graph = builder.build();
+    // Executor-side overlap: NVM-bound tasks are deferred behind
+    // DRAM-resident ones while the helper thread works through this
+    // iteration's promotions (see compute_tier_hints).
+    const std::vector<task::TierHint> hints =
+        compute_tier_hints(graph, *state.registry, schedule);
     executor.run(graph, [&](task::GroupId g) {
       // Fire this group's proactive copies, then wait for the ones the
       // group needs — the paper's phase-boundary protocol. With a deadline
@@ -480,7 +535,7 @@ RunReport Runtime::run_real_report(
       } else {
         engine.wait_tag(g);
       }
-    });
+    }, hints);
   }
   engine.drain();
 
@@ -497,6 +552,7 @@ RunReport Runtime::run_real_report(
   report.migrations_cancelled = engine.cancelled();
   report.plans_degraded = engine.degraded_objects().size();
   report.faults_injected = fault::global().total_injected() - faults_before;
+  report.tasks_executed = executor.stats().tasks_run;
   return report;
 }
 

@@ -24,6 +24,7 @@
 #include "core/policy.hpp"
 #include "core/report.hpp"
 #include "memsim/machine.hpp"
+#include "task/executor.hpp"
 
 namespace tahoe::core {
 
@@ -120,5 +121,17 @@ class Runtime {
 
 /// Collect the planner-facing object inventory from a registry.
 std::vector<ObjectInfo> collect_objects(const hms::ObjectRegistry& registry);
+
+/// Executor-side half of the migration/computation overlap: derive one
+/// scheduling hint per task from the plan's DRAM residency of the task's
+/// inputs. A task is `kHot` when every chunk it reads will be DRAM-resident
+/// by the time its group starts (current registry placement plus every
+/// ScheduledCopy whose needed_group is not after the task's group) and
+/// `kCold` otherwise, so the executor defers NVM-bound tasks while their
+/// objects' promotions are still in flight. Accesses to objects unknown to
+/// the registry are treated as hot.
+std::vector<task::TierHint> compute_tier_hints(
+    const task::TaskGraph& graph, const hms::ObjectRegistry& registry,
+    const std::vector<task::ScheduledCopy>& schedule);
 
 }  // namespace tahoe::core

@@ -1,24 +1,93 @@
 #include "task/executor.hpp"
 
-#include <algorithm>
 #include <exception>
 
 #include "common/assert.hpp"
+#include "common/log.hpp"
 #include "trace/counters.hpp"
 #include "trace/trace.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
 
 namespace tahoe::task {
 
 namespace {
-/// Sentinel meaning "no group is active yet".
-constexpr std::uint32_t kNoGroup = 0xffffffffu;
+
+/// Idle rescans before a worker parks; backoff doubles each round.
+constexpr int kSpinRounds = 6;
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential backoff: short pause bursts first, then scheduler yields.
+inline void backoff(int round) noexcept {
+  if (round < 3) {
+    for (int i = 0; i < (1 << round); ++i) cpu_relax();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+/// Single-writer counter bump, readable concurrently. atomic_ref keeps the
+/// stats structs plain aggregates while making cross-thread snapshots
+/// race-free; the owner-only load+store pair compiles to a plain add (no
+/// lock prefix), unlike fetch_add.
+inline void bump(std::uint64_t& counter, std::uint64_t delta = 1) noexcept {
+  const std::atomic_ref<std::uint64_t> ref(counter);
+  ref.store(ref.load(std::memory_order_relaxed) + delta,
+            std::memory_order_relaxed);
+}
+
+inline std::uint64_t peek(const std::uint64_t& counter) noexcept {
+  // atomic_ref<const T> support is spotty in C++20 libraries; the cast is
+  // sound because the ref is only ever used to load.
+  return std::atomic_ref<std::uint64_t>(const_cast<std::uint64_t&>(counter))
+      .load(std::memory_order_relaxed);
+}
+
+ExecutorStats snapshot(const ExecutorStats& s) noexcept {
+  ExecutorStats out;
+  out.tasks_run = peek(s.tasks_run);
+  out.pushes = peek(s.pushes);
+  out.pops = peek(s.pops);
+  out.steals = peek(s.steals);
+  out.inject_takes = peek(s.inject_takes);
+  out.failed_steals = peek(s.failed_steals);
+  out.parks = peek(s.parks);
+  out.cold_takes = peek(s.cold_takes);
+  return out;
+}
+
+void accumulate(ExecutorStats& into, const ExecutorStats& s) noexcept {
+  into.tasks_run += s.tasks_run;
+  into.pushes += s.pushes;
+  into.pops += s.pops;
+  into.steals += s.steals;
+  into.inject_takes += s.inject_takes;
+  into.failed_steals += s.failed_steals;
+  into.parks += s.parks;
+  into.cold_takes += s.cold_takes;
+}
+
 }  // namespace
 
-Executor::Executor(unsigned num_workers) {
+Executor::Executor(unsigned num_workers) : num_workers_(num_workers) {
   TAHOE_REQUIRE(num_workers >= 1, "executor needs at least one worker");
-  queues_.reserve(num_workers);
+  worker_state_.reserve(num_workers);
+  inject_hot_.reserve(num_workers);
+  inject_cold_.reserve(num_workers);
   for (unsigned w = 0; w < num_workers; ++w) {
-    queues_.push_back(std::make_unique<WorkerQueue>());
+    // Deterministic per-worker seeds: only the victim rotation uses them.
+    worker_state_.push_back(std::make_unique<WorkerState>(0x7a40e + w));
+    inject_hot_.push_back(std::make_unique<WsDeque<TaskId>>());
+    inject_cold_.push_back(std::make_unique<WsDeque<TaskId>>());
   }
   workers_.reserve(num_workers);
   for (unsigned w = 0; w < num_workers; ++w) {
@@ -32,88 +101,146 @@ Executor::Executor(unsigned num_workers) {
 }
 
 Executor::~Executor() {
-  {
-    // The store must synchronize with the sleepers' predicate check (see
-    // push_ready): otherwise a worker that just found the queues empty
-    // but has not blocked yet misses this notification forever.
-    const std::lock_guard<std::mutex> lock(state_mutex_);
-    stop_.store(true, std::memory_order_release);
+  // Single ownership: destroying the executor while another thread is
+  // inside run() races the graph state. Warn loudly (throwing from a
+  // destructor would terminate) and still drain what we can.
+  if (run_active_.load(std::memory_order_acquire)) {
+    TAHOE_WARN("Executor destroyed while run() is in flight — the executor "
+               "must be owned (and outlived) by its running thread");
   }
-  work_cv_.notify_all();
+  // The seq_cst store orders before the eventcount epoch bump inside
+  // notify(), so a worker that re-verifies emptiness before blocking
+  // either sees stop_ set or gets the epoch-change wakeup — parked workers
+  // drain deterministically.
+  stop_.store(true, std::memory_order_seq_cst);
+  park_.notify();
   for (std::thread& t : workers_) t.join();
 }
 
-void Executor::push_ready(TaskId id, unsigned hint) {
-  WorkerQueue& q = *queues_[hint % queues_.size()];
-  {
-    const std::lock_guard<std::mutex> lock(q.mutex);
-    q.deque.push_back(id);
-  }
-  // Synchronize with the sleepers' predicate check: without taking
-  // state_mutex_ here, a notify could land between a worker's (empty)
-  // queue scan and its block on the condition variable and be lost.
-  {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
-  }
-  work_cv_.notify_one();
+ExecutorStats Executor::worker_stats(unsigned w) const {
+  TAHOE_REQUIRE(w < num_workers_, "worker index out of range");
+  return snapshot(worker_state_[w]->stats);
 }
 
-bool Executor::try_pop(unsigned self, TaskId& out) {
-  // Own queue first (LIFO for locality)...
-  {
-    WorkerQueue& q = *queues_[self];
-    const std::lock_guard<std::mutex> lock(q.mutex);
-    if (!q.deque.empty()) {
-      out = q.deque.back();
-      q.deque.pop_back();
-      return true;
-    }
+void Executor::push_ready(TaskId id, unsigned self) {
+  WorkerState& ws = *worker_state_[self];
+  const bool cold = hints_ != nullptr && hints_[id] == TierHint::kCold;
+  (cold ? ws.cold : ws.hot).push(id);
+  bump(ws.stats.pushes);
+  park_.notify();
+}
+
+void Executor::inject_ready(TaskId id, unsigned slot) {
+  const bool cold = hints_ != nullptr && hints_[id] == TierHint::kCold;
+  auto& lane = cold ? inject_cold_ : inject_hot_;
+  lane[slot % num_workers_]->push(id);
+  ++caller_pushes_;
+  park_.notify();
+}
+
+bool Executor::try_get_task(unsigned self, TaskId& out) {
+  WorkerState& ws = *worker_state_[self];
+  // 1. Own hot deque (LIFO for locality).
+  if (ws.hot.pop(out)) {
+    bump(ws.stats.pops);
+    return true;
   }
-  // ...then steal round-robin (FIFO from the victim's cold end).
-  for (std::size_t k = 1; k < queues_.size(); ++k) {
-    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
-    const std::lock_guard<std::mutex> lock(q.mutex);
-    if (!q.deque.empty()) {
-      out = q.deque.front();
-      q.deque.pop_front();
-      steal_count_.fetch_add(1, std::memory_order_relaxed);
-      static trace::Counter& steals =
-          trace::global_counters().get("executor.steals");
-      steals.increment();
+  // 2. Own injection slot: group activations scattered to this worker.
+  if (inject_hot_[self]->steal(out)) {
+    bump(ws.stats.inject_takes);
+    return true;
+  }
+  // 3. Steal hot work from the others, randomized rotation. DRAM-resident
+  // work anywhere beats NVM-bound work here: cold deques are only
+  // consulted after the whole hot scan failed.
+  const unsigned n = num_workers_;
+  const unsigned start = n > 1 ? static_cast<unsigned>(ws.rng.next_below(n)) : 0;
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned v = (start + k) % n;
+    if (v == self) continue;
+    if (worker_state_[v]->hot.steal(out)) {
+      bump(ws.stats.steals);
       trace::Tracer& tracer = trace::global();
       if (tracer.enabled()) {
-        tracer.instant(self, "steal", trace::now_seconds(), "victim",
-                       (self + k) % queues_.size());
+        tracer.instant(self, "steal", trace::now_seconds(), "victim", v);
       }
       return true;
     }
+    if (inject_hot_[v]->steal(out)) {
+      bump(ws.stats.inject_takes);
+      return true;
+    }
+  }
+  // 4. Cold (NVM-bound) work, same order: own, own injection, then steal.
+  if (ws.cold.pop(out)) {
+    bump(ws.stats.pops);
+    bump(ws.stats.cold_takes);
+    return true;
+  }
+  if (inject_cold_[self]->steal(out)) {
+    bump(ws.stats.inject_takes);
+    bump(ws.stats.cold_takes);
+    return true;
+  }
+  for (unsigned k = 0; k < n; ++k) {
+    const unsigned v = (start + k) % n;
+    if (v == self) continue;
+    if (worker_state_[v]->cold.steal(out)) {
+      bump(ws.stats.steals);
+      bump(ws.stats.cold_takes);
+      return true;
+    }
+    if (inject_cold_[v]->steal(out)) {
+      bump(ws.stats.inject_takes);
+      bump(ws.stats.cold_takes);
+      return true;
+    }
+  }
+  bump(ws.stats.failed_steals);
+  return false;
+}
+
+bool Executor::any_work_visible() const {
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    if (!worker_state_[w]->hot.empty_approx()) return true;
+    if (!worker_state_[w]->cold.empty_approx()) return true;
+    if (!inject_hot_[w]->empty_approx()) return true;
+    if (!inject_cold_[w]->empty_approx()) return true;
   }
   return false;
 }
 
 void Executor::worker_loop(unsigned self) {
+  WorkerState& ws = *worker_state_[self];
+  int idle_rounds = 0;
   for (;;) {
     TaskId id = 0;
-    if (try_pop(self, id)) {
+    if (try_get_task(self, id)) {
+      idle_rounds = 0;
       execute_task(id, self);
       continue;
     }
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    work_cv_.wait(lock, [this, self] {
-      if (stop_.load(std::memory_order_acquire)) return true;
-      // Re-check queues under the cv to avoid lost wakeups.
-      for (std::size_t k = 0; k < queues_.size(); ++k) {
-        WorkerQueue& q = *queues_[(self + k) % queues_.size()];
-        const std::lock_guard<std::mutex> qlock(q.mutex);
-        if (!q.deque.empty()) return true;
-      }
-      return false;
-    });
     if (stop_.load(std::memory_order_acquire)) return;
+    if (idle_rounds < kSpinRounds) {
+      backoff(idle_rounds++);
+      continue;
+    }
+    idle_rounds = 0;
+    // Park. prepare_wait() registers us as a waiter *before* the
+    // emptiness re-check, so a push that lands in between is guaranteed
+    // to bump the epoch and either abort the commit or wake us.
+    const std::uint64_t epoch = park_.prepare_wait();
+    if (stop_.load(std::memory_order_acquire) || any_work_visible()) {
+      park_.cancel_wait();
+      continue;
+    }
+    bump(ws.stats.parks);
+    park_.commit_wait(epoch);
   }
 }
 
 void Executor::execute_task(TaskId id, unsigned self) {
+  WorkerState& ws = *worker_state_[self];
   const Task& t = graph_->task(id);
   trace::Tracer& tracer = trace::global();
   const bool traced = tracer.enabled();
@@ -131,6 +258,7 @@ void Executor::execute_task(TaskId id, unsigned self) {
                     trace::now_seconds() - begin, "task", id, "group",
                     t.group);
   }
+  bump(ws.stats.tasks_run);
   // Completion: release successors. Every task starts with an extra
   // "activation token" on top of its predecessor count (see run()), so a
   // task is pushed exactly once — by whichever decrement (the last
@@ -145,16 +273,37 @@ void Executor::execute_task(TaskId id, unsigned self) {
   barrier_remaining_.fetch_sub(1, std::memory_order_acq_rel);
   if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1 ||
       barrier_remaining_.load(std::memory_order_acquire) == 0) {
-    const std::lock_guard<std::mutex> lock(state_mutex_);
+    {
+      // Empty critical section pairs with run()'s predicate check under
+      // done_mutex_ so the notify cannot be lost.
+      const std::lock_guard<std::mutex> lock(done_mutex_);
+    }
     done_cv_.notify_all();
   }
 }
 
+void Executor::flush_stats_to_counters(const ExecutorStats& delta) const {
+  trace::CounterRegistry& reg = trace::global_counters();
+  reg.get("executor.tasks").add(delta.tasks_run);
+  reg.get("executor.pushes").add(delta.pushes);
+  reg.get("executor.pops").add(delta.pops);
+  reg.get("executor.steals").add(delta.steals);
+  reg.get("executor.inject_takes").add(delta.inject_takes);
+  reg.get("executor.steals_failed").add(delta.failed_steals);
+  reg.get("executor.parks").add(delta.parks);
+  reg.get("executor.cold_takes").add(delta.cold_takes);
+}
+
 void Executor::run(const TaskGraph& graph,
-                   const std::function<void(GroupId)>& on_group_start) {
+                   const std::function<void(GroupId)>& on_group_start,
+                   std::span<const TierHint> tier_hints) {
   const std::lock_guard<std::mutex> run_lock(run_mutex_);
   TAHOE_REQUIRE(graph.num_tasks() > 0, "empty graph");
+  TAHOE_REQUIRE(tier_hints.empty() || tier_hints.size() == graph.num_tasks(),
+                "tier_hints must be empty or have one entry per task");
+  run_active_.store(true, std::memory_order_release);
   graph_ = &graph;
+  hints_ = tier_hints.empty() ? nullptr : tier_hints.data();
   first_error_ = nullptr;
 
   const std::size_t n = graph.num_tasks();
@@ -174,32 +323,30 @@ void Executor::run(const TaskGraph& graph,
       on_group_start(g);
       barrier_remaining_.store(static_cast<std::uint32_t>(grp.size()),
                                std::memory_order_release);
-      active_group_.store(g, std::memory_order_release);
-      // Hand each task of the group its activation token.
-      unsigned hint = 0;
+      // Hand each task of the group its activation token; scatter the
+      // eligible ones round-robin over the injection deques.
+      unsigned slot = 0;
       for (TaskId id = grp.first_task; id < grp.last_task; ++id) {
         if (pending_preds_[id].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          push_ready(id, hint++);
+          inject_ready(id, slot++);
         }
       }
       // Wait for the group barrier.
-      std::unique_lock<std::mutex> lock(state_mutex_);
+      std::unique_lock<std::mutex> lock(done_mutex_);
       done_cv_.wait(lock, [this] {
         return barrier_remaining_.load(std::memory_order_acquire) == 0;
       });
     }
   } else {
-    active_group_.store(static_cast<std::uint32_t>(graph.num_groups() - 1),
-                        std::memory_order_release);
     barrier_remaining_.store(static_cast<std::uint32_t>(n),
                              std::memory_order_release);
-    unsigned hint = 0;
+    unsigned slot = 0;
     for (TaskId id = 0; id < n; ++id) {
       if (pending_preds_[id].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        push_ready(id, hint++);
+        inject_ready(id, slot++);
       }
     }
-    std::unique_lock<std::mutex> lock(state_mutex_);
+    std::unique_lock<std::mutex> lock(done_mutex_);
     done_cv_.wait(lock, [this] {
       return remaining_.load(std::memory_order_acquire) == 0;
     });
@@ -207,10 +354,28 @@ void Executor::run(const TaskGraph& graph,
 
   TAHOE_ASSERT(remaining_.load(std::memory_order_acquire) == 0,
                "run finished with tasks outstanding");
-  stats_.tasks_run += n;
-  stats_.steals = steal_count_.load(std::memory_order_relaxed);
+  // Refresh the aggregate stats and flush the delta since the previous
+  // run into the global counter registry.
+  ExecutorStats total;
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    accumulate(total, snapshot(worker_state_[w]->stats));
+  }
+  total.pushes += caller_pushes_;
+  ExecutorStats delta = total;
+  delta.tasks_run -= reported_.tasks_run;
+  delta.pushes -= reported_.pushes;
+  delta.pops -= reported_.pops;
+  delta.steals -= reported_.steals;
+  delta.inject_takes -= reported_.inject_takes;
+  delta.failed_steals -= reported_.failed_steals;
+  delta.parks -= reported_.parks;
+  delta.cold_takes -= reported_.cold_takes;
+  flush_stats_to_counters(delta);
+  reported_ = total;
+  stats_ = total;
   graph_ = nullptr;
-  active_group_.store(kNoGroup, std::memory_order_release);
+  hints_ = nullptr;
+  run_active_.store(false, std::memory_order_release);
   if (first_error_) std::rethrow_exception(first_error_);
 }
 

@@ -1,0 +1,170 @@
+// Chase–Lev lock-free work-stealing deque (Chase & Lev, SPAA'05, with the
+// weak-memory-model corrections of Lê, Pop, Cohen & Zappa Nardelli,
+// PPoPP'13).
+//
+// One *owner* thread pushes and pops at the bottom; any number of *thief*
+// threads steal single items from the top. The owner's push/pop hot path is
+// a handful of relaxed/acq_rel atomics; steals race each other and the
+// owner's last-element pop through a seq_cst CAS on `top_`. Where the
+// published algorithm uses standalone seq_cst fences we use seq_cst
+// operations on `top_`/`bottom_` instead: x86 codegen is the same and —
+// unlike `std::atomic_thread_fence` — they are modeled precisely by
+// ThreadSanitizer, keeping the stress suite TSan-clean without
+// suppressions.
+//
+// The ring grows geometrically when full. Thieves may still be indexing a
+// retired ring while the owner installs a larger one, so retired rings are
+// kept alive (chained off the current ring) until the deque is destroyed —
+// the standard leak-until-destruction reclamation for this structure. The
+// elements of [top, bottom) are copied on growth; retired slots are never
+// written again, so a racing thief always reads a value that was current
+// when it read `top_`, and the CAS decides whether its claim stands.
+//
+// T must be trivially copyable (it is stored in std::atomic<T> slots; the
+// executor instantiates TaskId = uint32_t).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "common/assert.hpp"
+
+namespace tahoe::task {
+
+template <typename T>
+class WsDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WsDeque elements are stored in atomic slots");
+
+ public:
+  explicit WsDeque(std::size_t initial_capacity = 64)
+      : ring_(new Ring(round_up_pow2(initial_capacity))) {}
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  ~WsDeque() {
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    while (r != nullptr) {
+      Ring* prev = r->retired;
+      delete r;
+      r = prev;
+    }
+  }
+
+  /// Owner only: append at the bottom. Grows the ring when full; never
+  /// fails.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(r->capacity)) {
+      r = grow(r, t, b);
+    }
+    r->put(b, value);
+    // Publish the slot to thieves: a thief's acquire load of bottom_
+    // synchronizes with this store.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: take the most recently pushed item (LIFO). Returns false
+  /// when the deque is empty.
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* const r = ring_.load(std::memory_order_relaxed);
+    // seq_cst store/load pair: the reservation of slot b must be globally
+    // ordered before the read of top_ (StoreLoad), or a concurrent thief
+    // could claim the same slot (this is the fence in the published
+    // algorithm).
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = r->get(b);
+    if (t == b) {
+      // Last element: race the thieves for it.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Any thread: take the oldest item (FIFO). Returns false when empty or
+  /// when another thief (or the owner's last-element pop) won the race.
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    Ring* const r = ring_.load(std::memory_order_acquire);
+    out = r->get(t);
+    // seq_cst CAS: claims slot t against other thieves and the owner.
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+  /// Racy size estimate (exact when quiescent). May transiently read as -1
+  /// during an owner pop; clamped to 0.
+  std::size_t size_approx() const noexcept {
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+  /// Current ring capacity (owner/test use).
+  std::size_t capacity() const noexcept {
+    return ring_.load(std::memory_order_acquire)->capacity;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+
+    void put(std::int64_t i, T v) noexcept {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+    T get(std::int64_t i) const noexcept {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+    Ring* retired = nullptr;  ///< chain of outgrown rings, freed with *this
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    TAHOE_REQUIRE(n >= 2, "deque capacity must be at least 2");
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  /// Owner only: double the ring, copying the live range [t, b).
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    Ring* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    bigger->retired = old;
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  // Owner and thief indices chase each other monotonically; 64-bit signed
+  // indices make wraparound a non-issue for any realistic run.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> ring_;
+};
+
+}  // namespace tahoe::task

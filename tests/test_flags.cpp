@@ -45,6 +45,100 @@ TEST(Flags, SpaceSyntaxAndBareBool) {
   EXPECT_TRUE(f.get_bool("verbose"));
 }
 
+TEST(Flags, BoolTwoTokenForm) {
+  // --flag false / --flag true consume the token instead of silently
+  // treating it as a positional while the flag flips to true.
+  Flags f = make_flags();
+  const auto pos = parse(f, {"--verbose", "false"});
+  EXPECT_FALSE(f.get_bool("verbose"));
+  EXPECT_TRUE(pos.empty());
+
+  Flags g = make_flags();
+  const auto pos2 = parse(g, {"--verbose", "true", "tail"});
+  EXPECT_TRUE(g.get_bool("verbose"));
+  ASSERT_EQ(pos2.size(), 1u);
+  EXPECT_EQ(pos2[0], "tail");
+}
+
+TEST(Flags, BareBoolDoesNotEatNonBoolToken) {
+  // Only a literal true/false is consumed; anything else stays positional
+  // and the bare flag still means true.
+  Flags f = make_flags();
+  const auto pos = parse(f, {"--verbose", "maybe"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], "maybe");
+}
+
+TEST(Flags, NegativeValuesBothForms) {
+  Flags f = make_flags();
+  parse(f, {"--count=-7", "--ratio=-0.25"});
+  EXPECT_EQ(f.get_int("count"), -7);
+  EXPECT_DOUBLE_EQ(f.get_double("ratio"), -0.25);
+
+  Flags g = make_flags();
+  parse(g, {"--count", "-9", "--ratio", "-1.5"});
+  EXPECT_EQ(g.get_int("count"), -9);
+  EXPECT_DOUBLE_EQ(g.get_double("ratio"), -1.5);
+}
+
+TEST(Flags, OverflowRejected) {
+  // strtoll/strtod clamp on ERANGE; the parser must refuse instead of
+  // silently clamping.
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--count=99999999999999999999"}), ContractError);
+  Flags g = make_flags();
+  EXPECT_THROW(parse(g, {"--count=-99999999999999999999"}), ContractError);
+  Flags h = make_flags();
+  EXPECT_THROW(parse(h, {"--ratio=1e999"}), ContractError);
+  Flags k = make_flags();
+  EXPECT_THROW(parse(k, {"--ratio=-1e999"}), ContractError);
+  try {
+    Flags m = make_flags();
+    parse(m, {"--count=99999999999999999999"});
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("expects an integer"),
+              std::string::npos);
+  }
+  // Boundary values still parse.
+  Flags n = make_flags();
+  parse(n, {"--count=9223372036854775807"});
+  EXPECT_EQ(n.get_int("count"), INT64_MAX);
+}
+
+TEST(Flags, TinyDoubleUnderflowAccepted) {
+  // Underflow (ERANGE with a finite result) is benign, unlike overflow.
+  Flags f = make_flags();
+  parse(f, {"--ratio=1e-400"});
+  EXPECT_GE(f.get_double("ratio"), 0.0);
+  EXPECT_LT(f.get_double("ratio"), 1e-300);
+}
+
+TEST(Flags, BareDoubleDashRejected) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--"}), ContractError);
+  Flags g = make_flags();
+  EXPECT_THROW(parse(g, {"--=3"}), ContractError);
+  try {
+    Flags h = make_flags();
+    parse(h, {"--"});
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("bare '--'"), std::string::npos);
+  }
+}
+
+TEST(Flags, EmptyValueAfterEquals) {
+  Flags f = make_flags();
+  EXPECT_THROW(parse(f, {"--count="}), ContractError);
+  Flags g = make_flags();
+  EXPECT_THROW(parse(g, {"--verbose="}), ContractError);
+  Flags h = make_flags();
+  parse(h, {"--name="});  // empty string is a legitimate string value
+  EXPECT_EQ(h.get_string("name"), "");
+}
+
 TEST(Flags, PositionalArgsReturned) {
   Flags f = make_flags();
   const auto pos = parse(f, {"alpha", "--count=2", "beta"});

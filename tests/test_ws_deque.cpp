@@ -1,0 +1,204 @@
+// Chase–Lev work-stealing deque: owner-only semantics, thief semantics,
+// ring growth, and the concurrent interleavings (owner pop vs. steal on
+// the last element, thief vs. thief races) where the lock-free protocol
+// could go wrong. The stress tests are the TSan targets guarding the
+// executor rewrite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "task/ws_deque.hpp"
+
+namespace tahoe::task {
+namespace {
+
+TEST(WsDeque, StartsEmpty) {
+  WsDeque<std::uint32_t> dq;
+  std::uint32_t out = 0;
+  EXPECT_TRUE(dq.empty_approx());
+  EXPECT_EQ(dq.size_approx(), 0u);
+  EXPECT_FALSE(dq.pop(out));
+  EXPECT_FALSE(dq.steal(out));
+}
+
+TEST(WsDeque, OwnerPopIsLifo) {
+  WsDeque<std::uint32_t> dq;
+  for (std::uint32_t i = 0; i < 100; ++i) dq.push(i);
+  EXPECT_EQ(dq.size_approx(), 100u);
+  std::uint32_t out = 0;
+  for (std::uint32_t i = 100; i-- > 0;) {
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(dq.pop(out));
+}
+
+TEST(WsDeque, StealIsFifo) {
+  WsDeque<std::uint32_t> dq;
+  for (std::uint32_t i = 0; i < 100; ++i) dq.push(i);
+  std::uint32_t out = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(dq.steal(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(dq.steal(out));
+}
+
+TEST(WsDeque, MixedPopAndStealDrainOppositeEnds) {
+  WsDeque<std::uint32_t> dq;
+  for (std::uint32_t i = 0; i < 10; ++i) dq.push(i);
+  std::uint32_t out = 0;
+  ASSERT_TRUE(dq.steal(out));
+  EXPECT_EQ(out, 0u);  // oldest
+  ASSERT_TRUE(dq.pop(out));
+  EXPECT_EQ(out, 9u);  // newest
+  ASSERT_TRUE(dq.steal(out));
+  EXPECT_EQ(out, 1u);
+  ASSERT_TRUE(dq.pop(out));
+  EXPECT_EQ(out, 8u);
+  EXPECT_EQ(dq.size_approx(), 6u);
+}
+
+TEST(WsDeque, GrowsBeyondInitialCapacity) {
+  WsDeque<std::uint32_t> dq(2);
+  EXPECT_EQ(dq.capacity(), 2u);
+  constexpr std::uint32_t kN = 1000;
+  for (std::uint32_t i = 0; i < kN; ++i) dq.push(i);
+  EXPECT_GE(dq.capacity(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(dq.size_approx(), static_cast<std::size_t>(kN));
+  // Every element survived the copies across ring generations.
+  std::uint32_t out = 0;
+  for (std::uint32_t i = kN; i-- > 0;) {
+    ASSERT_TRUE(dq.pop(out));
+    ASSERT_EQ(out, i);
+  }
+}
+
+TEST(WsDeque, WrapsAroundTheRing) {
+  // Interleaved push/pop keeps the population below the capacity while the
+  // absolute indices run far past it, exercising the mask arithmetic.
+  WsDeque<std::uint32_t> dq(4);
+  std::uint32_t out = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    dq.push(i);
+    dq.push(i + 1000000);
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, i + 1000000);
+    ASSERT_TRUE(dq.steal(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(dq.empty_approx());
+  EXPECT_EQ(dq.capacity(), 4u);  // never needed to grow
+}
+
+TEST(WsDeque, RejectsDegenerateCapacity) {
+  EXPECT_THROW(WsDeque<std::uint32_t>(0), ContractError);
+  EXPECT_NO_THROW(WsDeque<std::uint32_t>(2));
+  WsDeque<std::uint32_t> dq(3);  // rounded up to a power of two
+  EXPECT_EQ(dq.capacity(), 4u);
+}
+
+// ABA-adjacent interleaving: owner pop and a thief race for the single
+// remaining element; exactly one side may win, every element is delivered
+// exactly once.
+TEST(WsDeque, LastElementRaceDeliversExactlyOnce) {
+  constexpr int kRounds = 2000;
+  WsDeque<std::uint32_t> dq;
+  std::atomic<int> round{-1};
+  std::atomic<std::uint64_t> thief_sum{0};
+  std::atomic<std::uint64_t> thief_wins{0};
+  std::thread thief([&] {
+    int seen = -1;
+    for (;;) {
+      const int r = round.load(std::memory_order_acquire);
+      if (r == kRounds) return;
+      if (r == seen) continue;
+      seen = r;
+      std::uint32_t v = 0;
+      if (dq.steal(v)) {
+        thief_sum.fetch_add(v, std::memory_order_relaxed);
+        thief_wins.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::uint64_t owner_sum = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    const std::uint32_t v = static_cast<std::uint32_t>(r) + 1;
+    dq.push(v);
+    round.store(r, std::memory_order_release);
+    std::uint32_t got = 0;
+    if (dq.pop(got)) {
+      owner_sum += got;
+    } else {
+      // The thief won the race; wait until the element really left.
+      while (!dq.empty_approx()) {
+      }
+    }
+  }
+  round.store(kRounds, std::memory_order_release);
+  thief.join();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kRounds) * (kRounds + 1) / 2;
+  EXPECT_EQ(owner_sum + thief_sum.load(), expected);
+}
+
+// The TSan stress target: one owner hammering push/pop while several
+// thieves steal, with ring growth forced mid-flight. Every pushed value
+// must be consumed exactly once (checked via per-value tally).
+TEST(WsDeque, ConcurrentStressDeliversEachItemOnce) {
+  constexpr std::uint32_t kItems = 20000;
+  constexpr int kThieves = 3;
+  WsDeque<std::uint32_t> dq(4);  // small: forces growth under contention
+  std::vector<std::atomic<std::uint8_t>> taken(kItems);
+  for (auto& t : taken) t.store(0);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint32_t> consumed{0};
+
+  auto consume = [&](std::uint32_t v) {
+    ASSERT_LT(v, kItems);
+    EXPECT_EQ(taken[v].fetch_add(1, std::memory_order_relaxed), 0)
+        << "value " << v << " delivered twice";
+    consumed.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::uint32_t v = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (dq.steal(v)) consume(v);
+      }
+      while (dq.steal(v)) consume(v);
+    });
+  }
+
+  std::uint32_t next = 0;
+  while (next < kItems) {
+    // Bursts of pushes followed by some owner pops: keeps both ends and
+    // the growth path busy.
+    for (int burst = 0; burst < 64 && next < kItems; ++burst) dq.push(next++);
+    std::uint32_t v = 0;
+    for (int p = 0; p < 32 && dq.pop(v); ++p) consume(v);
+  }
+  std::uint32_t v = 0;
+  while (dq.pop(v)) consume(v);
+  while (consumed.load(std::memory_order_acquire) < kItems) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(consumed.load(), kItems);
+  for (std::uint32_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(taken[i].load(), 1) << "value " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tahoe::task
