@@ -21,7 +21,10 @@
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "task/executor.hpp"
+#include "trace/chrome_export.hpp"
 #include "trace/counters.hpp"
+#include "trace/histogram.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -76,7 +79,17 @@ int main(int argc, char** argv) {
   flags.define_bool("csv", false, "emit CSV after the table");
   flags.define_string("report-json", "",
                       "append one RunReport JSON line per cell");
+  flags.define_string("trace-out", "",
+                      "write a Chrome trace_event JSON timeline here");
   flags.parse(argc, argv);
+
+  const std::string trace_out = flags.get_string("trace-out");
+  if (!trace_out.empty()) trace::global().set_enabled(true);
+  // Histograms (steal latency, park time, task duration) ride along with
+  // any artifact request; off otherwise so the hot loops stay unperturbed.
+  if (!trace_out.empty() || !flags.get_string("report-json").empty()) {
+    trace::set_histograms_enabled(true);
+  }
 
   const bool quick = flags.get_bool("quick");
   const std::size_t tasks = quick
@@ -130,5 +143,8 @@ int main(int argc, char** argv) {
                   " independent tasks/rep, best of " + std::to_string(reps) +
                   ")",
               table, flags.get_bool("csv"));
+  if (!trace_out.empty()) {
+    trace::export_chrome_trace(trace::global(), trace_out);
+  }
   return 0;
 }

@@ -4,6 +4,10 @@
 // allocator operations).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/calibration.hpp"
@@ -13,7 +17,9 @@
 #include "memsim/fluid.hpp"
 #include "memsim/sampler.hpp"
 #include "task/graph.hpp"
+#include "trace/chrome_export.hpp"
 #include "trace/counters.hpp"
+#include "trace/histogram.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -146,6 +152,67 @@ void BM_CounterAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_CounterAdd);
 
+// The histogram hot path, both ways. Disabled is the guard every
+// instrumentation site uses (one relaxed load, no record); enabled is a
+// bit_width + relaxed fetch_add into a log-spaced bucket.
+void BM_HistogramRecordDisabled(benchmark::State& state) {
+  trace::set_histograms_enabled(false);
+  trace::CounterRegistry registry;
+  trace::Histogram& h = registry.histogram("bench.histogram");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    if (trace::histograms_enabled()) h.record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap lcg
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_HistogramRecordDisabled);
+
+void BM_HistogramRecordEnabled(benchmark::State& state) {
+  trace::set_histograms_enabled(true);
+  trace::CounterRegistry registry;
+  trace::Histogram& h = registry.histogram("bench.histogram");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    if (trace::histograms_enabled()) h.record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;
+    benchmark::ClobberMemory();
+  }
+  trace::set_histograms_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecordEnabled);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark aborts on
+// flags it does not know, so strip the shared artifact flags first and
+// honor them here (timeline of the benchmark process itself).
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kTrace = "--trace-out=";
+    if (arg.rfind(kTrace, 0) == 0) {
+      trace_out = arg.substr(kTrace.size());
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  if (!trace_out.empty()) tahoe::trace::global().set_enabled(true);
+
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!trace_out.empty()) {
+    tahoe::trace::export_chrome_trace(tahoe::trace::global(), trace_out);
+  }
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "core/calibration.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/counters.hpp"
+#include "trace/histogram.hpp"
 #include "trace/trace.hpp"
 
 namespace tahoe::bench {
@@ -52,6 +53,7 @@ core::RuntimeConfig runtime_config(const BenchConfig& config) {
   core::RuntimeConfig c;
   c.machine = make_machine(config);
   c.backing = hms::Backing::Virtual;
+  c.attribution = config.attribution;
   return c;
 }
 
@@ -63,7 +65,23 @@ void append_report_json(const core::RunReport& report,
     TAHOE_WARN("cannot open report output file '" << path << "'");
     return;
   }
-  report.write_json(os, trace::global_counters().snapshot());
+  // Split snapshots: gauges and histograms land in their own JSON objects
+  // so downstream diffing of the monotonic counters stays deterministic.
+  auto& reg = trace::global_counters();
+  report.write_json(os, reg.snapshot_counters(), reg.snapshot_gauges(),
+                    reg.snapshot_histograms());
+  os << '\n';
+}
+
+void append_explain_json(const core::RunReport& report,
+                         const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream os(path, std::ios::app);
+  if (!os) {
+    TAHOE_WARN("cannot open explain output file '" << path << "'");
+    return;
+  }
+  report.write_explain_json(os);
   os << '\n';
 }
 
@@ -90,6 +108,7 @@ core::RunReport run_tahoe(const std::string& workload,
                            options);
   core::RunReport report = rt.run(*app, policy);
   append_report_json(report, config.report_json);
+  append_explain_json(report, config.explain_out);
   return report;
 }
 
@@ -100,6 +119,7 @@ core::RunReport run_xmem(const std::string& workload,
   baselines::XMemPolicy policy;
   core::RunReport report = rt.run(*app, policy);
   append_report_json(report, config.report_json);
+  append_explain_json(report, config.explain_out);
   return report;
 }
 
@@ -110,6 +130,7 @@ core::RunReport run_reactive(const std::string& workload,
   baselines::ReactiveLruPolicy policy;
   core::RunReport report = rt.run(*app, policy);
   append_report_json(report, config.report_json);
+  append_explain_json(report, config.explain_out);
   return report;
 }
 
@@ -130,6 +151,9 @@ Flags standard_flags() {
                       "(open in chrome://tracing or Perfetto)");
   flags.define_string("report-json", "",
                       "append each run's RunReport as a JSON line here");
+  flags.define_string("explain-out", "",
+                      "append each policy run's plan provenance (candidates, "
+                      "weights, accept/reject reasons) as a JSON line here");
   fault::register_flags(flags);
   return flags;
 }
@@ -146,6 +170,14 @@ BenchConfig config_from_flags(const Flags& flags, const std::string& nvm_spec) {
   config.scale = flags.get_string("scale") == "test" ? workloads::Scale::Test
                                                      : workloads::Scale::Bench;
   config.report_json = flags.get_string("report-json");
+  config.explain_out = flags.get_string("explain-out");
+  config.attribution =
+      !config.report_json.empty() || !config.explain_out.empty();
+  // Latency histograms ride along whenever any artifact is requested; they
+  // are off by default so uninstrumented runs pay only a relaxed load.
+  if (config.attribution || !flags.get_string("trace-out").empty()) {
+    trace::set_histograms_enabled(true);
+  }
 
   const std::string trace_out = flags.get_string("trace-out");
   if (!trace_out.empty()) {

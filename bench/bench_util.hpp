@@ -27,6 +27,12 @@ struct BenchConfig {
   /// When non-empty, every run_* helper appends its RunReport (plus the
   /// metrics-registry snapshot) as one JSON line to this file.
   std::string report_json;
+  /// When non-empty, every policy run appends its decision provenance
+  /// (RunReport::write_explain_json) as one JSON line to this file.
+  std::string explain_out;
+  /// Collect per-(task type, object) attribution into the reports. Enabled
+  /// automatically whenever report_json or explain_out is set.
+  bool attribution = false;
 };
 
 /// Build the machine for a config (platform-a unless spec == "optane").
@@ -59,17 +65,23 @@ core::RunReport run_reactive(const std::string& workload,
 double normalized(const core::RunReport& run, const core::RunReport& dram);
 
 /// Standard flag set (--scale, --csv, --dram-mib, --workers, --trace-out,
-/// --report-json); returns the parsed flags after registering bench
-/// defaults.
+/// --report-json, --explain-out); returns the parsed flags after
+/// registering bench defaults.
 Flags standard_flags();
 /// Builds the config; additionally enables global tracing when --trace-out
-/// is set (the Chrome trace is exported at process exit).
+/// is set (the Chrome trace is exported at process exit), and turns on
+/// latency histograms + attribution when any artifact output is requested.
 BenchConfig config_from_flags(const Flags& flags, const std::string& nvm_spec);
 
-/// Append `report` (with the current global counter snapshot) as one JSON
-/// line to `path`; no-op when `path` is empty.
+/// Append `report` (with the current counter/gauge/histogram snapshots)
+/// as one JSON line to `path`; no-op when `path` is empty.
 void append_report_json(const core::RunReport& report,
                         const std::string& path);
+
+/// Append the report's decision provenance (write_explain_json) as one
+/// JSON line to `path`; no-op when `path` is empty.
+void append_explain_json(const core::RunReport& report,
+                         const std::string& path);
 
 /// Print with the standard bench banner; emits CSV too when requested.
 void emit(const std::string& title, const Table& table, bool csv);

@@ -17,6 +17,7 @@
 #include "core/runtime.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/counters.hpp"
+#include "trace/histogram.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -89,12 +90,18 @@ int main(int argc, char** argv) {
                       "(open in chrome://tracing or Perfetto)");
   flags.define_string("report-json", "",
                       "write the Tahoe run's RunReport as JSON here");
+  flags.define_string("explain-out", "",
+                      "write the Tahoe run's plan provenance (candidates, "
+                      "weights, accept/reject reasons) as JSON here");
   tahoe::fault::register_flags(flags);
   flags.parse(argc, argv);
   tahoe::fault::configure_from_flags(flags);
   const std::string trace_out = flags.get_string("trace-out");
   const std::string report_json = flags.get_string("report-json");
-  if (!trace_out.empty()) trace::global().set_enabled(true);
+  const std::string explain_out = flags.get_string("explain-out");
+  if (!trace_out.empty() || !report_json.empty() || !explain_out.empty()) {
+    trace::set_histograms_enabled(true);
+  }
 
   // A machine whose NVM has 1/2 the DRAM bandwidth and 4x its latency
   // would need Quartz twice; the simulator just takes both numbers.
@@ -105,6 +112,7 @@ int main(int argc, char** argv) {
   core::RuntimeConfig config;
   config.machine = memsim::machines::platform_a(nvm, 32 * kMiB);
   config.backing = hms::Backing::Virtual;  // timing-only run
+  config.attribution = !report_json.empty() || !explain_out.empty();
 
   core::Runtime runtime(config);
 
@@ -114,7 +122,11 @@ int main(int argc, char** argv) {
   const core::RunReport dram = runtime.run_static(dram_app, memsim::kDram);
   const core::RunReport nvm_only = runtime.run_static(nvm_app, memsim::kNvm);
 
-  // Calibrate once per machine, then run under the Tahoe policy.
+  // Calibrate once per machine, then run under the Tahoe policy. The
+  // trace covers only this run: the static baselines share the same
+  // virtual-time origin, so mixing all three into one timeline would
+  // overlay unrelated spans on the same lanes.
+  if (!trace_out.empty()) trace::global().set_enabled(true);
   core::TahoePolicy policy(
       core::calibrate(runtime.machine()).to_constants());
   const core::RunReport tahoe = runtime.run(tahoe_app, policy);
@@ -141,9 +153,17 @@ int main(int argc, char** argv) {
   }
   if (!report_json.empty()) {
     std::ofstream os(report_json);
-    tahoe.write_json(os, trace::global_counters().snapshot());
+    auto& reg = trace::global_counters();
+    tahoe.write_json(os, reg.snapshot_counters(), reg.snapshot_gauges(),
+                     reg.snapshot_histograms());
     os << '\n';
     std::cout << "  report written to " << report_json << "\n";
+  }
+  if (!explain_out.empty()) {
+    std::ofstream os(explain_out);
+    tahoe.write_explain_json(os);
+    os << '\n';
+    std::cout << "  plan provenance written to " << explain_out << "\n";
   }
   return 0;
 }

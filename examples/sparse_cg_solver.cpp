@@ -3,16 +3,38 @@
 // declarations, verification of the numerical result) and how the planner
 // treats the gather-heavy SpMV phase differently from the streaming AXPY
 // phases.
+#include <fstream>
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/units.hpp"
 #include "core/calibration.hpp"
 #include "core/planner.hpp"
 #include "core/runtime.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/counters.hpp"
+#include "trace/histogram.hpp"
+#include "trace/trace.hpp"
 #include "workloads/cg.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tahoe;
+
+  Flags flags;
+  flags.define_string("trace-out", "",
+                      "write a Chrome trace_event JSON timeline here");
+  flags.define_string("report-json", "",
+                      "write the Tahoe run's RunReport as JSON here");
+  flags.define_string("explain-out", "",
+                      "write the Tahoe run's plan provenance as JSON here");
+  flags.parse(argc, argv);
+  const std::string trace_out = flags.get_string("trace-out");
+  const std::string report_json = flags.get_string("report-json");
+  const std::string explain_out = flags.get_string("explain-out");
+  if (!trace_out.empty()) trace::global().set_enabled(true);
+  if (!trace_out.empty() || !report_json.empty() || !explain_out.empty()) {
+    trace::set_histograms_enabled(true);
+  }
 
   core::RuntimeConfig config;
   config.machine = memsim::machines::platform_a(
@@ -33,6 +55,7 @@ int main() {
 
   // Simulated comparison on the latency-limited NVM.
   config.backing = hms::Backing::Virtual;
+  config.attribution = !report_json.empty() || !explain_out.empty();
   core::Runtime runtime(config);
   workloads::CgApp dram_app(
       workloads::CgApp::config_for(workloads::Scale::Test));
@@ -54,5 +77,21 @@ int main() {
                    dram.steady_iteration_seconds()
             << "x  (strategy " << tahoe.strategy << ", runtime overhead "
             << tahoe.runtime_cost_fraction() * 100.0 << "%)\n";
+
+  if (!trace_out.empty()) {
+    trace::export_chrome_trace(trace::global(), trace_out);
+  }
+  if (!report_json.empty()) {
+    std::ofstream os(report_json);
+    auto& reg = trace::global_counters();
+    tahoe.write_json(os, reg.snapshot_counters(), reg.snapshot_gauges(),
+                     reg.snapshot_histograms());
+    os << '\n';
+  }
+  if (!explain_out.empty()) {
+    std::ofstream os(explain_out);
+    tahoe.write_explain_json(os);
+    os << '\n';
+  }
   return 0;
 }

@@ -24,6 +24,19 @@ struct ModelConstants {
 
 enum class Sensitivity { Bandwidth, Latency, Mixed };
 
+/// Stable lowercase names used in exports (explain JSON, analyzer tables).
+constexpr const char* to_string(Sensitivity s) noexcept {
+  switch (s) {
+    case Sensitivity::Bandwidth:
+      return "bandwidth";
+    case Sensitivity::Latency:
+      return "latency";
+    case Sensitivity::Mixed:
+      return "mixed";
+  }
+  return "mixed";
+}
+
 class PerfModel {
  public:
   PerfModel(ModelConstants constants, memsim::DeviceModel dram,

@@ -236,7 +236,8 @@ PlanDecision TahoePolicy::decide(const PlanInputs& in) {
   // that steady state and emits the cyclic schedule.
   auto run_pass = [&](const std::vector<Unit>& start_residents,
                       std::vector<task::ScheduledCopy>* schedule,
-                      double* gain_out) -> std::vector<Unit> {
+                      double* gain_out,
+                      std::vector<PlanCandidate>* prov) -> std::vector<Unit> {
     PlanState state(in, capacity);
     state.seed(start_residents);
     double gain = 0.0;
@@ -254,6 +255,31 @@ PlanDecision TahoePolicy::decide(const PlanInputs& in) {
       std::vector<UnitKey> chosen;
       chosen.reserve(sol.chosen.size());
       for (std::size_t idx : sol.chosen) chosen.push_back(weights[idx].unit);
+      if (prov != nullptr) {
+        std::size_t next = 0;  // sol.chosen is ascending
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+          const UnitWeight& uw = weights[i];
+          const bool accepted =
+              next < sol.chosen.size() && sol.chosen[next] == i;
+          if (accepted) ++next;
+          PlanCandidate c;
+          c.object_id = static_cast<std::uint64_t>(uw.unit.object);
+          c.chunk = uw.unit.chunk;
+          c.pass = "local";
+          c.group = g;
+          c.sensitivity = to_string(uw.sensitivity);
+          c.benefit = uw.benefit;
+          c.cost = uw.cost;
+          c.extra_cost = uw.extra_cost;
+          c.value = uw.weight();
+          c.bytes = items[i].size;
+          c.accepted = accepted;
+          c.reason = accepted ? "selected"
+                     : uw.weight() <= 0.0 ? "non-positive-weight"
+                                          : "capacity";
+          prov->push_back(std::move(c));
+        }
+      }
       gain += sol.total_value;
       state.apply_group(g, chosen, schedule);
     }
@@ -266,11 +292,13 @@ PlanDecision TahoePolicy::decide(const PlanInputs& in) {
   // state. Pass 2 replans from there and emits the cyclic body. The
   // preamble then pins the iteration-start residency to pass 2's starting
   // state, making the cycle capacity-safe by construction.
-  const std::vector<Unit> steady_start = run_pass(current, nullptr, nullptr);
+  const std::vector<Unit> steady_start =
+      run_pass(current, nullptr, nullptr, nullptr);
 
   std::vector<task::ScheduledCopy> local_body;
   double local_gain = 0.0;
-  run_pass(steady_start, &local_body, &local_gain);
+  std::vector<PlanCandidate> provenance;
+  run_pass(steady_start, &local_body, &local_gain, &provenance);
 
   std::vector<task::ScheduledCopy> local_schedule =
       cyclic_preamble(in, steady_start, local_body);
@@ -281,12 +309,21 @@ PlanDecision TahoePolicy::decide(const PlanInputs& in) {
   // Aggregate each unit's benefit over all groups; one knapsack; no
   // movement within the iteration (cost is one-time and amortizes away).
   std::map<UnitKey, double> total_benefit;
+  // Dominant (max single-group benefit) sensitivity per unit, recorded in
+  // the provenance so the explain export can show why a unit aggregated
+  // the way it did.
+  std::map<UnitKey, std::pair<double, Sensitivity>> dominant;
   std::vector<std::vector<UnitWeight>> per_group_weights(num_groups);
   for (task::GroupId g = 0; g < num_groups; ++g) {
     per_group_weights[g] =
         group_weights(in, model, g, {}, options_.distinguish_rw);
     for (const UnitWeight& w : per_group_weights[g]) {
       total_benefit[w.unit] += w.benefit;
+      const auto [it, inserted] =
+          dominant.try_emplace(w.unit, w.benefit, w.sensitivity);
+      if (!inserted && w.benefit > it->second.first) {
+        it->second = {w.benefit, w.sensitivity};
+      }
     }
   }
   std::vector<UnitKey> global_units;
@@ -298,6 +335,37 @@ PlanDecision TahoePolicy::decide(const PlanInputs& in) {
   }
   const KnapsackResult global_sol = solve(global_items, capacity);
   const double global_gain = global_sol.total_value;
+  {
+    std::size_t next = 0;  // global_sol.chosen is ascending
+    for (std::size_t i = 0; i < global_units.size(); ++i) {
+      const bool accepted =
+          next < global_sol.chosen.size() && global_sol.chosen[next] == i;
+      if (accepted) ++next;
+      PlanCandidate c;
+      c.object_id = static_cast<std::uint64_t>(global_units[i].object);
+      c.chunk = global_units[i].chunk;
+      c.pass = "global";
+      c.sensitivity = to_string(dominant.at(global_units[i]).second);
+      c.benefit = global_items[i].value;
+      c.value = global_items[i].value;
+      c.bytes = global_items[i].size;
+      c.accepted = accepted;
+      c.reason = accepted ? "selected"
+                 : global_items[i].value <= 0.0 ? "non-positive-weight"
+                                                : "capacity";
+      provenance.push_back(std::move(c));
+    }
+  }
+  // Degradation pins are part of the story: they explain why an object
+  // never even appeared as a candidate.
+  for (const hms::ObjectId id : in.pinned_nvm) {
+    PlanCandidate c;
+    c.object_id = static_cast<std::uint64_t>(id);
+    c.pass = "pinned";
+    c.accepted = false;
+    c.reason = "pinned-nvm";
+    provenance.push_back(std::move(c));
+  }
 
   std::vector<Unit> global_target;
   for (std::size_t idx : global_sol.chosen) {
@@ -324,6 +392,9 @@ PlanDecision TahoePolicy::decide(const PlanInputs& in) {
     decision.strategy = "local";
     decision.predicted_gain = local_gain;
   }
+  decision.provenance = std::move(provenance);
+  decision.local_gain = local_gain;
+  decision.global_gain = global_gain;
   if (!options_.proactive) {
     // Ablation: no lookahead — copies fire only when needed.
     for (task::ScheduledCopy& c : decision.schedule) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/profiles.hpp"
+#include "core/report.hpp"
 #include "hms/placement.hpp"
 #include "memsim/machine.hpp"
 #include "task/graph.hpp"
@@ -55,6 +56,13 @@ struct PlanDecision {
   std::string strategy;                       ///< e.g. "global", "local"
   double predicted_gain = 0.0;                ///< modeled seconds saved/iter
   double decision_seconds = 0.0;              ///< measured planning cost
+  /// Decision provenance: every candidate the policy weighed, with the
+  /// Eq. (7) terms and accept/reject verdicts. Policies that do not model
+  /// candidates leave it empty. Candidate `object` names are unresolved
+  /// (the runtime fills them from ObjectInfo when recording the plan).
+  std::vector<PlanCandidate> provenance;
+  double local_gain = 0.0;   ///< phase-local alternative's predicted gain
+  double global_gain = 0.0;  ///< cross-phase alternative's predicted gain
 };
 
 class Policy {

@@ -20,9 +20,13 @@ double RunReport::steady_iteration_seconds(std::size_t warmup) const {
 
 void RunReport::write_json(
     std::ostream& os,
-    const std::vector<std::pair<std::string, std::uint64_t>>& counters) const {
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters,
+    const std::vector<std::pair<std::string, std::uint64_t>>& gauges,
+    const std::vector<std::pair<std::string, trace::HistogramSnapshot>>&
+        histograms) const {
   trace::JsonWriter w(os);
   w.begin_object();
+  w.kv("schema_version", std::uint64_t{2});
   w.kv("workload", workload);
   w.kv("policy", policy);
   w.kv("strategy", strategy);
@@ -52,6 +56,96 @@ void RunReport::write_json(
   w.key("counters").begin_object();
   for (const auto& [name, value] : counters) w.kv(name, value);
   w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) w.kv(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum);
+    w.kv("p50", h.p50());
+    w.kv("p90", h.p90());
+    w.kv("p99", h.p99());
+    w.kv("max", h.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("attribution").begin_array();
+  for (const AttributionRow& r : attribution) {
+    w.begin_object();
+    w.kv("task_type", r.task_type);
+    w.kv("object", r.object);
+    w.kv("tasks", r.tasks);
+    w.kv("dram_loads", r.dram_loads);
+    w.kv("dram_stores", r.dram_stores);
+    w.kv("nvm_loads", r.nvm_loads);
+    w.kv("nvm_stores", r.nvm_stores);
+    w.kv("sampled_loads", r.sampled_loads);
+    w.kv("sampled_stores", r.sampled_stores);
+    w.kv("est_loads", r.est_loads);
+    w.kv("est_stores", r.est_stores);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("objects").begin_array();
+  for (const ObjectMigrationRow& r : objects) {
+    w.begin_object();
+    w.kv("object", r.object);
+    w.kv("promotions", r.promotions);
+    w.kv("evictions", r.evictions);
+    w.kv("bytes_promoted", r.bytes_promoted);
+    w.kv("bytes_evicted", r.bytes_evicted);
+    w.kv("copies_hidden", r.copies_hidden);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void RunReport::write_explain_json(std::ostream& os) const {
+  trace::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", std::uint64_t{2});
+  w.kv("workload", workload);
+  w.kv("policy", policy);
+  w.kv("strategy", strategy);
+  w.key("plans").begin_array();
+  for (const PlanRecord& p : plans) {
+    w.begin_object();
+    w.kv("iteration", static_cast<std::uint64_t>(p.iteration));
+    w.kv("replan_round", static_cast<std::uint64_t>(
+                             p.replan_round < 0 ? 0 : p.replan_round));
+    w.kv("strategy", p.strategy);
+    w.kv("local_gain", p.local_gain);
+    w.kv("global_gain", p.global_gain);
+    w.kv("predicted_gain", p.predicted_gain);
+    w.kv("schedule_copies", static_cast<std::uint64_t>(p.schedule_copies));
+    w.key("pinned_nvm").begin_array();
+    for (const std::string& name : p.pinned_nvm) w.value(name);
+    w.end_array();
+    w.key("candidates").begin_array();
+    for (const PlanCandidate& c : p.candidates) {
+      w.begin_object();
+      w.kv("object", c.object);
+      w.kv("object_id", c.object_id);
+      w.kv("chunk", static_cast<std::uint64_t>(c.chunk));
+      w.kv("pass", c.pass);
+      w.kv("group", static_cast<std::uint64_t>(c.group));
+      w.kv("sensitivity", c.sensitivity);
+      w.kv("benefit", c.benefit);
+      w.kv("cost", c.cost);
+      w.kv("extra_cost", c.extra_cost);
+      w.kv("value", c.value);
+      w.kv("bytes", c.bytes);
+      w.kv("accepted", c.accepted);
+      w.kv("reason", c.reason);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 

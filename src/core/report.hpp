@@ -7,7 +7,70 @@
 #include <utility>
 #include <vector>
 
+#include "trace/histogram.hpp"
+
 namespace tahoe::core {
+
+/// One promotion candidate the planner weighed — Eq. (7) inputs plus the
+/// verdict. `object_id` is the raw hms::ObjectId (kept as an integer here
+/// so the report layer stays dependency-free); the runtime resolves
+/// `object` to the allocation name before the record is exported.
+struct PlanCandidate {
+  std::uint64_t object_id = 0;
+  std::string object;        ///< resolved name ("" until the runtime fills it)
+  std::size_t chunk = 0;
+  std::string pass;          ///< "local" / "global" / "pinned"
+  std::size_t group = 0;     ///< phase index (local pass only)
+  std::string sensitivity;   ///< "bandwidth" / "latency" / "mixed" / ""
+  double benefit = 0.0;      ///< BFT (modeled seconds saved)
+  double cost = 0.0;         ///< COST (exposed movement seconds)
+  double extra_cost = 0.0;   ///< eviction cost to make room
+  double value = 0.0;        ///< knapsack value = benefit - cost - extra_cost
+  std::uint64_t bytes = 0;   ///< knapsack weight (unit size)
+  bool accepted = false;
+  std::string reason;  ///< "selected"/"non-positive-weight"/"capacity"/...
+};
+
+/// One planning round: every decide() call the runtime made, including the
+/// degraded re-plans where reservation failures pinned objects to NVM.
+struct PlanRecord {
+  std::size_t iteration = 0;    ///< iteration at which the decision fired
+  int replan_round = 0;         ///< 0 = first plan, >0 = pinned re-plans
+  std::string strategy;         ///< winning strategy of this round
+  double local_gain = 0.0;      ///< phase-local plan's predicted gain
+  double global_gain = 0.0;     ///< cross-phase plan's predicted gain
+  double predicted_gain = 0.0;  ///< gain of the winning plan
+  std::size_t schedule_copies = 0;
+  std::vector<std::string> pinned_nvm;  ///< degradation pins in effect
+  std::vector<PlanCandidate> candidates;
+};
+
+/// Per-(task group, object) access attribution, aggregated over the run:
+/// what each phase did to each object on each tier, in both raw sampled
+/// counts and interval-corrected estimates.
+struct AttributionRow {
+  std::string task_type;  ///< group name (the task-type granularity)
+  std::string object;
+  std::uint64_t tasks = 0;
+  std::uint64_t dram_loads = 0;   ///< simulated accesses served by DRAM
+  std::uint64_t dram_stores = 0;
+  std::uint64_t nvm_loads = 0;
+  std::uint64_t nvm_stores = 0;
+  std::uint64_t sampled_loads = 0;  ///< raw profiler samples
+  std::uint64_t sampled_stores = 0;
+  std::uint64_t est_loads = 0;  ///< sampled x interval correction
+  std::uint64_t est_stores = 0;
+};
+
+/// Per-object migration attribution over the run.
+struct ObjectMigrationRow {
+  std::string object;
+  std::uint64_t promotions = 0;  ///< copies into DRAM that moved bytes
+  std::uint64_t evictions = 0;   ///< copies out to NVM that moved bytes
+  std::uint64_t bytes_promoted = 0;
+  std::uint64_t bytes_evicted = 0;
+  std::uint64_t copies_hidden = 0;  ///< completed outside any group stall
+};
 
 struct RunReport {
   std::string workload;
@@ -40,6 +103,16 @@ struct RunReport {
   /// counter registry instead.
   std::uint64_t tasks_executed = 0;
 
+  /// Decision provenance: one record per planning round (including
+  /// degraded re-plans). Serialized by write_explain_json, not write_json.
+  std::vector<PlanRecord> plans;
+
+  /// Per-(task type, object) access attribution and per-object migration
+  /// tallies, filled when RuntimeConfig::attribution is on. Sorted by
+  /// (task_type, object) / object, so exports are deterministic.
+  std::vector<AttributionRow> attribution;
+  std::vector<ObjectMigrationRow> objects;
+
   double total_seconds() const noexcept {
     return compute_seconds + overhead_seconds;
   }
@@ -64,13 +137,25 @@ struct RunReport {
   double steady_iteration_seconds(std::size_t warmup = 3) const;
 
   /// Serialize the report as a single-line JSON object (no trailing
-  /// newline), optionally with a "counters" sub-object — the
-  /// machine-readable form benches emit as JSON lines. Parseable by
-  /// trace::parse_json.
+  /// newline) — the machine-readable form benches emit as JSON lines.
+  /// Parseable by trace::parse_json. Optional sub-objects: "counters"
+  /// (monotonic totals), "gauges" (point-in-time levels — keep these out
+  /// of byte-compared exports, they are nondeterministic), "histograms"
+  /// (count/percentile digests). The "schema_version" field (currently 2)
+  /// leads the object; attribution rows are emitted under "attribution"
+  /// and "objects".
   void write_json(
       std::ostream& os,
-      const std::vector<std::pair<std::string, std::uint64_t>>& counters = {})
-      const;
+      const std::vector<std::pair<std::string, std::uint64_t>>& counters = {},
+      const std::vector<std::pair<std::string, std::uint64_t>>& gauges = {},
+      const std::vector<std::pair<std::string, trace::HistogramSnapshot>>&
+          histograms = {}) const;
+
+  /// Serialize the decision provenance (`plans`) as a single JSON object.
+  /// Deliberately excludes every wall-clock-measured quantity
+  /// (decision_seconds), so two same-seed runs produce byte-identical
+  /// output.
+  void write_explain_json(std::ostream& os) const;
 };
 
 }  // namespace tahoe::core

@@ -77,7 +77,33 @@ hms::ObjectId first_unreservable(
 
 PlanDecision Runtime::decide_validated(Policy& policy, PlanInputs inputs,
                                        std::vector<hms::ObjectId>& pinned,
-                                       RunReport& report) {
+                                       RunReport& report,
+                                       std::size_t iteration) {
+  // Resolve raw ids to allocation names for the provenance records.
+  const auto object_name = [&inputs](std::uint64_t id) -> std::string {
+    for (const ObjectInfo& o : inputs.objects) {
+      if (static_cast<std::uint64_t>(o.id) == id) return o.name;
+    }
+    return "object-" + std::to_string(id);
+  };
+  const auto record_plan = [&](const PlanDecision& decision, int round) {
+    PlanRecord rec;
+    rec.iteration = iteration;
+    rec.replan_round = round;
+    rec.strategy = decision.strategy;
+    rec.local_gain = decision.local_gain;
+    rec.global_gain = decision.global_gain;
+    rec.predicted_gain = decision.predicted_gain;
+    rec.schedule_copies = decision.schedule.size();
+    rec.pinned_nvm.reserve(pinned.size());
+    for (const hms::ObjectId id : pinned) {
+      rec.pinned_nvm.push_back(object_name(id));
+    }
+    rec.candidates = decision.provenance;
+    for (PlanCandidate& c : rec.candidates) c.object = object_name(c.object_id);
+    report.plans.push_back(std::move(rec));
+  };
+
   // Bounded: each round pins at least one more object, and a plan with
   // everything pinned schedules no fills at all.
   constexpr int kMaxRounds = 8;
@@ -87,6 +113,7 @@ PlanDecision Runtime::decide_validated(Policy& policy, PlanInputs inputs,
     if (config_.fixed_decision_seconds) {
       decision.decision_seconds = *config_.fixed_decision_seconds;
     }
+    record_plan(decision, round);
     const hms::ObjectId offender =
         first_unreservable(inputs, decision.schedule,
                            config_.machine.dram().capacity,
@@ -246,6 +273,20 @@ RunReport Runtime::run(Application& app, Policy& policy) {
   opts.unit_size = [&state](hms::ObjectId id, std::size_t chunk) {
     return state.registry->get(id).chunks.at(chunk).bytes;
   };
+  opts.attribution = config_.attribution;
+
+  // Attribution accumulators (filled only when config_.attribution).
+  std::map<std::pair<std::string, std::string>, AttributionRow> attr_rows;
+  std::map<std::string, ObjectMigrationRow> obj_rows;
+  std::vector<std::string> group_names;
+  std::map<hms::ObjectId, std::string> object_names;
+  for (const ObjectInfo& o : state.objects) object_names[o.id] = o.name;
+  const auto resolve_object = [&object_names](hms::ObjectId id) {
+    const auto it = object_names.find(id);
+    return it != object_names.end()
+               ? it->second
+               : "object-" + std::to_string(static_cast<std::uint64_t>(id));
+  };
 
   // Tracing: the simulated timeline is laid out on one virtual clock that
   // accumulates iteration makespans, so a full run reads left-to-right in
@@ -277,7 +318,7 @@ RunReport Runtime::run(Application& app, Policy& policy) {
       inputs.objects = state.objects;
       inputs.current = state.placement;
       PlanDecision decision =
-          decide_validated(policy, std::move(inputs), pinned, report);
+          decide_validated(policy, std::move(inputs), pinned, report, iter);
       schedule = std::move(decision.schedule);
       strategy = decision.strategy;
       report.decision_seconds += decision.decision_seconds;
@@ -308,6 +349,40 @@ RunReport Runtime::run(Application& app, Policy& policy) {
     report.overhead_seconds +=
         static_cast<double>(graph.num_groups()) * config_.sync_cost_seconds;
 
+    if (config_.attribution) {
+      if (group_names.size() < graph.num_groups()) {
+        group_names.resize(graph.num_groups());
+      }
+      for (task::GroupId g = 0; g < graph.num_groups(); ++g) {
+        group_names[g] = graph.group(g).name;
+      }
+      for (const task::AccessTally& t : sim.access_tallies) {
+        const std::string gname = t.group < group_names.size()
+                                      ? group_names[t.group]
+                                      : std::to_string(t.group);
+        AttributionRow& row = attr_rows[{gname, resolve_object(t.object)}];
+        row.tasks += t.tasks;
+        if (t.device == memsim::kDram) {
+          row.dram_loads += t.loads;
+          row.dram_stores += t.stores;
+        } else {
+          row.nvm_loads += t.loads;
+          row.nvm_stores += t.stores;
+        }
+      }
+      for (const task::CopyTally& t : sim.copy_tallies) {
+        ObjectMigrationRow& row = obj_rows[resolve_object(t.object)];
+        if (t.dst == memsim::kDram) {
+          row.promotions += t.copies;
+          row.bytes_promoted += t.bytes;
+        } else {
+          row.evictions += t.copies;
+          row.bytes_evicted += t.bytes;
+        }
+        row.copies_hidden += t.hidden;
+      }
+    }
+
     if (profiling_left > 0) {
       profiler.observe(graph, sim);
       report.overhead_seconds +=
@@ -327,7 +402,7 @@ RunReport Runtime::run(Application& app, Policy& policy) {
         inputs.objects = state.objects;
         inputs.current = state.placement;
         PlanDecision decision =
-            decide_validated(policy, std::move(inputs), pinned, report);
+            decide_validated(policy, std::move(inputs), pinned, report, iter);
         schedule = std::move(decision.schedule);
         strategy = decision.strategy;
         report.decision_seconds += decision.decision_seconds;
@@ -388,6 +463,37 @@ RunReport Runtime::run(Application& app, Policy& policy) {
   report.strategy = strategy;
   report.failed_no_space = state.registry->stats().failed_no_space;
   report.faults_injected = fault::global().total_injected() - faults_before;
+
+  if (config_.attribution) {
+    // Fold the profiler's view in: raw sampled counts and their
+    // interval-corrected estimates, so exports show what the planner saw
+    // next to the ground truth.
+    const PhaseProfiles& prof = profiler.profiles();
+    for (task::GroupId g = 0; g < prof.groups.size(); ++g) {
+      const std::string gname =
+          g < group_names.size() ? group_names[g] : std::to_string(g);
+      for (const auto& [unit, counts] : prof.groups[g].units) {
+        AttributionRow& row = attr_rows[{gname, resolve_object(unit.object)}];
+        row.sampled_loads += counts.loads;
+        row.sampled_stores += counts.stores;
+        row.est_loads += static_cast<std::uint64_t>(
+            counts.est_loads(machine.sample_interval));
+        row.est_stores += static_cast<std::uint64_t>(
+            counts.est_stores(machine.sample_interval));
+      }
+    }
+    report.attribution.reserve(attr_rows.size());
+    for (auto& [key, row] : attr_rows) {
+      row.task_type = key.first;
+      row.object = key.second;
+      report.attribution.push_back(std::move(row));
+    }
+    report.objects.reserve(obj_rows.size());
+    for (auto& [name, row] : obj_rows) {
+      row.object = name;
+      report.objects.push_back(std::move(row));
+    }
+  }
   return report;
 }
 

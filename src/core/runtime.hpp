@@ -58,6 +58,11 @@ struct RuntimeConfig {
   /// byte-reproducible (golden determinism tests). nullopt keeps the
   /// steady_clock measurement.
   std::optional<double> fixed_decision_seconds;
+  /// Collect per-(task type, object) access attribution and per-object
+  /// migration tallies into the report (RunReport::attribution/objects).
+  /// Costs one map insertion per simulated task access pair, so it is off
+  /// by default and enabled alongside --report-json in the binaries.
+  bool attribution = false;
 };
 
 class Runtime {
@@ -111,10 +116,12 @@ class Runtime {
   /// reservations). An object whose reservation keeps failing is pinned to
   /// NVM and the policy re-plans without it — the paper runtime's graceful
   /// degradation to a smaller effective DRAM. `pinned` persists across
-  /// calls so re-profiling keeps earlier demotions.
+  /// calls so re-profiling keeps earlier demotions. Every planning round
+  /// (including degraded re-plans) is appended to `report.plans` with
+  /// object names resolved, tagged with `iteration`.
   PlanDecision decide_validated(Policy& policy, PlanInputs inputs,
                                 std::vector<hms::ObjectId>& pinned,
-                                RunReport& report);
+                                RunReport& report, std::size_t iteration);
 
   RuntimeConfig config_;
 };

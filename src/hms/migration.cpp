@@ -67,9 +67,13 @@ void MigrationEngine::enqueue(const MigrationRequest& req) {
     const std::lock_guard<std::mutex> lock(mutex_);
     TAHOE_REQUIRE(!stop_, "enqueue after engine shutdown");
     queue_.push_back(req);
+    if (trace::histograms_enabled()) {
+      queue_.back().enqueue_seconds = trace::now_seconds();
+    }
     depth = queue_.size();
   }
   cv_enqueue_.notify_one();
+  trace::global_counters().gauge("migrate.queue_depth").set(depth);
   trace::Tracer& tracer = trace::global();
   if (tracer.enabled()) {
     tracer.counter(trace::kMigrationTrack, "migrate_queue_depth",
@@ -83,7 +87,8 @@ void MigrationEngine::execute(const MigrationRequest& req) {
   const DataObject& obj = registry_.get(req.object);
   const std::uint64_t bytes = obj.chunks.at(req.chunk).bytes;
   const memsim::DeviceId src = obj.chunks.at(req.chunk).device;
-  const double begin = traced ? trace::now_seconds() : 0.0;
+  const bool hist = trace::histograms_enabled();
+  const double begin = (traced || hist) ? trace::now_seconds() : 0.0;
 
   // Chaos hook: a stalled copy. Only slept in helper mode — inline mode
   // backs the deterministic simulator, where time is modeled, not spent.
@@ -130,6 +135,11 @@ void MigrationEngine::execute(const MigrationRequest& req) {
     static trace::Counter& to_nvm =
         trace::global_counters().get("migrate.bytes.to_nvm");
     (req.dst == memsim::kDram ? to_dram : to_nvm).add(bytes);
+    if (hist) {
+      static trace::Histogram& copy_seconds =
+          trace::global_counters().histogram("migrate.copy_seconds");
+      copy_seconds.record_seconds(trace::now_seconds() - begin);
+    }
   }
   if (res == MigrateResult::kNoSpace) {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -170,6 +180,12 @@ void MigrationEngine::worker_loop() {
       // Mark in-flight so wait_tag/drain observe it as incomplete while
       // the copy runs outside the lock; cancel_tag never touches it.
       active_ = req;
+      trace::global_counters().gauge("migrate.queue_depth").set(queue_.size());
+    }
+    if (req.enqueue_seconds > 0.0 && trace::histograms_enabled()) {
+      static trace::Histogram& queue_wait =
+          trace::global_counters().histogram("migrate.queue_wait_seconds");
+      queue_wait.record_seconds(trace::now_seconds() - req.enqueue_seconds);
     }
     execute(req);
     {

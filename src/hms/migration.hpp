@@ -33,6 +33,9 @@ struct MigrationRequest {
   /// Monotonic tag; wait_tag(t) blocks until all requests with tag <= t
   /// are done. The runtime tags requests with the phase that needs them.
   std::uint64_t tag = 0;
+  /// Stamped by enqueue() in helper mode when histograms are enabled; the
+  /// dequeue side records the queue-wait latency from it. 0 = unstamped.
+  double enqueue_seconds = 0.0;
 };
 
 class MigrationEngine {

@@ -213,12 +213,26 @@ bool Executor::any_work_visible() const {
 void Executor::worker_loop(unsigned self) {
   WorkerState& ws = *worker_state_[self];
   int idle_rounds = 0;
+  // Work-hunt latency: first failed acquisition attempt -> next success.
+  // Negative = not hunting. Only measured when histograms are on, so the
+  // idle spin path stays clock-free by default.
+  double hunt_begin = -1.0;
   for (;;) {
     TaskId id = 0;
     if (try_get_task(self, id)) {
+      if (hunt_begin >= 0.0) {
+        static trace::Histogram& steal_latency =
+            trace::global_counters().histogram(
+                "executor.steal_latency_seconds");
+        steal_latency.record_seconds(trace::now_seconds() - hunt_begin);
+        hunt_begin = -1.0;
+      }
       idle_rounds = 0;
       execute_task(id, self);
       continue;
+    }
+    if (hunt_begin < 0.0 && trace::histograms_enabled()) {
+      hunt_begin = trace::now_seconds();
     }
     if (stop_.load(std::memory_order_acquire)) return;
     if (idle_rounds < kSpinRounds) {
@@ -235,7 +249,15 @@ void Executor::worker_loop(unsigned self) {
       continue;
     }
     bump(ws.stats.parks);
-    park_.commit_wait(epoch);
+    if (trace::histograms_enabled()) {
+      const double park_begin = trace::now_seconds();
+      park_.commit_wait(epoch);
+      static trace::Histogram& park_seconds =
+          trace::global_counters().histogram("executor.park_seconds");
+      park_seconds.record_seconds(trace::now_seconds() - park_begin);
+    } else {
+      park_.commit_wait(epoch);
+    }
   }
 }
 
@@ -244,7 +266,8 @@ void Executor::execute_task(TaskId id, unsigned self) {
   const Task& t = graph_->task(id);
   trace::Tracer& tracer = trace::global();
   const bool traced = tracer.enabled();
-  const double begin = traced ? trace::now_seconds() : 0.0;
+  const bool hist = trace::histograms_enabled();
+  const double begin = (traced || hist) ? trace::now_seconds() : 0.0;
   if (t.work) {
     try {
       t.work();
@@ -253,10 +276,17 @@ void Executor::execute_task(TaskId id, unsigned self) {
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
-  if (traced) {
-    tracer.complete(self, t.label.empty() ? "task" : t.label.c_str(), begin,
-                    trace::now_seconds() - begin, "task", id, "group",
-                    t.group);
+  if (traced || hist) {
+    const double dur = trace::now_seconds() - begin;
+    if (traced) {
+      tracer.complete(self, t.label.empty() ? "task" : t.label.c_str(), begin,
+                      dur, "task", id, "group", t.group);
+    }
+    if (hist) {
+      static trace::Histogram& task_seconds =
+          trace::global_counters().histogram("executor.task_seconds");
+      task_seconds.record_seconds(dur);
+    }
   }
   bump(ws.stats.tasks_run);
   // Completion: release successors. Every task starts with an extra

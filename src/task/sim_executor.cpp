@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <tuple>
 
 #include "common/assert.hpp"
 #include "memsim/fluid.hpp"
@@ -66,6 +67,24 @@ SimReport SimExecutor::run(const TaskGraph& graph,
   std::size_t in_flight_copy = schedule.size();  // sentinel: none
   std::map<memsim::FlowId, std::size_t> copy_flow_to_idx;
 
+  // Attribution tables (std::map keeps the dump order deterministic).
+  std::map<std::tuple<GroupId, hms::ObjectId, memsim::DeviceId>, AccessTally>
+      acc_tally;
+  std::map<std::pair<hms::ObjectId, memsim::DeviceId>, CopyTally> cp_tally;
+
+  // DRAM-occupancy counter track: needs the unit-size oracle to price the
+  // initial residency; updated at every completed copy.
+  const bool track_occupancy = tracer != nullptr && options.unit_size != nullptr;
+  std::uint64_t dram_occupancy = 0;
+  if (track_occupancy) {
+    dram_occupancy =
+        placement.bytes_on(memsim::kDram, [&](hms::ObjectId o, std::size_t ch) {
+          return options.unit_size(o, ch);
+        });
+    tracer->counter(trace::kRuntimeTrack, "dram_occupancy_bytes", t0,
+                    dram_occupancy);
+  }
+
   // Start queued copies until one is in flight (copies whose source
   // already equals the destination — e.g. residency left over from a
   // previous iteration — complete immediately and cost nothing).
@@ -89,11 +108,17 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       if (tracer != nullptr) {
         tracer->counter(trace::kMigrationTrack, "copy_queue_depth",
                         t0 + sim.now(), copy_fifo.size() + 1);
+        // Bandwidth-in-flight per direction: one copy at a time, so the
+        // track toggles between 0 and the copy's size.
+        tracer->counter(trace::kMigrationTrack,
+                        c.dst == memsim::kDram ? "inflight_to_dram_bytes"
+                                               : "inflight_to_nvm_bytes",
+                        t0 + sim.now(), c.bytes);
       }
     }
   };
 
-  auto complete_copy = [&](std::size_t idx, double duration) {
+  auto complete_copy = [&](std::size_t idx, double duration, bool hidden) {
     const ScheduledCopy& c = schedule[idx];
     if (tracer != nullptr) {
       trace::TraceEvent ev;
@@ -122,8 +147,39 @@ SimReport SimExecutor::run(const TaskGraph& graph,
     ++report.copies_done;
     report.bytes_copied += c.bytes;
     report.copy_busy_seconds += duration;
+    if (trace::histograms_enabled()) {
+      static trace::Histogram& copy_seconds =
+          trace::global_counters().histogram("sim.copy_seconds");
+      copy_seconds.record_seconds(duration);
+    }
+    if (options.attribution) {
+      CopyTally& tally = cp_tally[{c.object, c.dst}];
+      tally.object = c.object;
+      tally.dst = c.dst;
+      ++tally.copies;
+      tally.bytes += c.bytes;
+      if (hidden) ++tally.hidden;
+    }
     TAHOE_ASSERT(in_flight_copy == idx, "copy completion out of order");
     in_flight_copy = schedule.size();
+    if (tracer != nullptr) {
+      tracer->counter(trace::kMigrationTrack, "copy_queue_depth",
+                      t0 + sim.now(), copy_fifo.size());
+      tracer->counter(trace::kMigrationTrack,
+                      c.dst == memsim::kDram ? "inflight_to_dram_bytes"
+                                             : "inflight_to_nvm_bytes",
+                      t0 + sim.now(), std::uint64_t{0});
+    }
+    if (track_occupancy) {
+      if (c.dst == memsim::kDram) {
+        dram_occupancy += c.bytes;
+      } else if (copy_state[idx].src == memsim::kDram) {
+        dram_occupancy = dram_occupancy >= c.bytes ? dram_occupancy - c.bytes
+                                                   : 0;
+      }
+      tracer->counter(trace::kRuntimeTrack, "dram_occupancy_bytes",
+                      t0 + sim.now(), dram_occupancy);
+    }
     if (options.check_capacity && options.unit_size &&
         c.dst < machine.devices.size()) {
       const std::uint64_t resident = placement.bytes_on(
@@ -157,7 +213,17 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       const std::size_t chunk = (a.chunk == kAllChunks) ? 0 : a.chunk;
       // Whole-object accesses to chunked objects are charged per chunk by
       // the workload layer; kAllChunks here refers to unit 0's placement.
-      acc.emplace_back(a.traffic, placement.device_of(a.object, chunk));
+      const memsim::DeviceId dev = placement.device_of(a.object, chunk);
+      acc.emplace_back(a.traffic, dev);
+      if (options.attribution) {
+        AccessTally& tally = acc_tally[{t.group, a.object, dev}];
+        tally.group = t.group;
+        tally.object = a.object;
+        tally.device = dev;
+        tally.loads += a.traffic.loads;
+        tally.stores += a.traffic.stores;
+        ++tally.tasks;
+      }
     }
     const memsim::FlowSpec spec =
         machine.task_flow(t.compute_seconds, acc, t.id);
@@ -200,7 +266,9 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       const auto it = copy_flow_to_idx.find(completion->id);
       TAHOE_ASSERT(it != copy_flow_to_idx.end(),
                    "unexpected task completion while only copies should run");
-      complete_copy(it->second, completion->time - completion->start_time);
+      // A copy the group is blocked on is exposed, not hidden.
+      complete_copy(it->second, completion->time - completion->start_time,
+                    /*hidden=*/false);
     }
     report.stall_seconds += sim.now() - wait_begin;
     if (tracer != nullptr && sim.now() > wait_begin) {
@@ -227,11 +295,17 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       if (completion->tag & kCopyBit) {
         const auto it = copy_flow_to_idx.find(completion->id);
         TAHOE_ASSERT(it != copy_flow_to_idx.end(), "unknown copy flow");
-        complete_copy(it->second, completion->time - completion->start_time);
+        complete_copy(it->second, completion->time - completion->start_time,
+                      /*hidden=*/true);
         continue;
       }
       const auto tid = static_cast<TaskId>(completion->tag);
       report.task_seconds[tid] = completion->time - completion->start_time;
+      if (trace::histograms_enabled()) {
+        static trace::Histogram& task_durations =
+            trace::global_counters().histogram("sim.task_seconds");
+        task_durations.record_seconds(report.task_seconds[tid]);
+      }
       if (tracer != nullptr) {
         const Task& t = graph.task(tid);
         tracer->complete(task_lane[tid],
@@ -270,12 +344,23 @@ SimReport SimExecutor::run(const TaskGraph& graph,
     TAHOE_ASSERT(completion.has_value(), "copy drain deadlock");
     const auto it = copy_flow_to_idx.find(completion->id);
     TAHOE_ASSERT(it != copy_flow_to_idx.end(), "unknown trailing flow");
-    complete_copy(it->second, completion->time - completion->start_time);
+    complete_copy(it->second, completion->time - completion->start_time,
+                  /*hidden=*/true);
   }
 
   report.device_busy_seconds.resize(machine.devices.size());
   for (std::size_t d = 0; d < machine.devices.size(); ++d) {
     report.device_busy_seconds[d] = sim.device_busy_seconds(d);
+  }
+  if (options.attribution) {
+    report.access_tallies.reserve(acc_tally.size());
+    for (const auto& [key, tally] : acc_tally) {
+      report.access_tallies.push_back(tally);
+    }
+    report.copy_tallies.reserve(cp_tally.size());
+    for (const auto& [key, tally] : cp_tally) {
+      report.copy_tallies.push_back(tally);
+    }
   }
   return report;
 }

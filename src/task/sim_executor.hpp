@@ -38,6 +38,29 @@ struct ScheduledCopy {
   GroupId needed_group = 0;
 };
 
+/// Ground-truth access attribution: what tasks of one group did to one
+/// object on one tier during the iteration. Collected only when
+/// Options::attribution is on; rows are sorted by (group, object, device).
+struct AccessTally {
+  GroupId group = 0;
+  hms::ObjectId object = hms::kInvalidObject;
+  memsim::DeviceId device = memsim::kDram;  ///< tier that served the traffic
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t tasks = 0;  ///< task-access pairs contributing to this row
+};
+
+/// Per-(object, destination tier) migration tally. `hidden` counts copies
+/// that completed outside any group-entry wait — data movement fully
+/// overlapped with computation.
+struct CopyTally {
+  hms::ObjectId object = hms::kInvalidObject;
+  memsim::DeviceId dst = memsim::kDram;
+  std::uint64_t copies = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hidden = 0;
+};
+
 struct SimReport {
   double makespan = 0.0;              ///< completion time of the last task
   std::vector<double> group_seconds;  ///< wall span of each group
@@ -48,6 +71,8 @@ struct SimReport {
   double copy_busy_seconds = 0.0;  ///< sum of copy flow durations
   double stall_seconds = 0.0;      ///< group-entry waits on copies
   std::vector<double> device_busy_seconds;
+  std::vector<AccessTally> access_tallies;  ///< empty unless attribution
+  std::vector<CopyTally> copy_tallies;      ///< empty unless attribution
 
   /// Fraction of data-movement time hidden behind computation.
   double overlap_fraction() const noexcept {
@@ -74,6 +99,10 @@ class SimExecutor {
     /// consecutively on one timeline (each iteration restarts sim time
     /// at zero).
     double trace_time_offset = 0.0;
+    /// Collect SimReport::access_tallies / copy_tallies (per task-type and
+    /// per-object attribution). Off by default: it costs a map insertion
+    /// per task access.
+    bool attribution = false;
   };
 
   /// Execute and return the timing report. `placement` is consumed as the

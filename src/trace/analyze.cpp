@@ -1,0 +1,327 @@
+#include "trace/analyze.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/table.hpp"
+
+namespace tahoe::trace {
+namespace {
+
+constexpr double kMicros = 1e6;
+
+struct Span {
+  std::uint64_t track = 0;
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  const JsonValue* args = nullptr;
+
+  double end() const noexcept { return ts + dur; }
+};
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::uint64_t arg_u64(const Span& s, const char* key) {
+  if (s.args == nullptr || !s.args->is_object() || !s.args->has(key)) return 0;
+  const JsonValue& v = s.args->at(key);
+  return v.is_number() ? static_cast<std::uint64_t>(v.number) : 0;
+}
+
+bool has_arg(const Span& s, const char* key) {
+  return s.args != nullptr && s.args->is_object() && s.args->has(key);
+}
+
+std::string str_or(const JsonValue& obj, const char* key,
+                   const std::string& def = "") {
+  if (!obj.has(key)) return def;
+  const JsonValue& v = obj.at(key);
+  return v.is_string() ? v.string : def;
+}
+
+double num_or(const JsonValue& obj, const char* key, double def = 0.0) {
+  if (!obj.has(key)) return def;
+  const JsonValue& v = obj.at(key);
+  return v.is_number() ? v.number : def;
+}
+
+}  // namespace
+
+Analysis analyze(const JsonValue& trace_doc, const JsonValue* report,
+                 const JsonValue* explain) {
+  Analysis a;
+
+  if (trace_doc.has("tahoe") && trace_doc.at("tahoe").is_object()) {
+    const JsonValue& meta = trace_doc.at("tahoe");
+    a.schema_version =
+        static_cast<std::uint64_t>(num_or(meta, "schema_version"));
+    a.dropped_events =
+        static_cast<std::uint64_t>(num_or(meta, "dropped_events"));
+  }
+
+  // ---- collect spans -------------------------------------------------
+  std::vector<Span> groups;
+  std::vector<Span> tasks;
+  std::vector<Span> stalls;
+  std::vector<Span> copies;
+  std::map<std::uint64_t, std::string> track_labels;
+  bool any_span = false;
+  double t_min = 0.0, t_max = 0.0;
+
+  if (trace_doc.has("traceEvents") && trace_doc.at("traceEvents").is_array()) {
+    for (const JsonValue& ev : trace_doc.at("traceEvents").array) {
+      if (!ev.is_object()) continue;
+      const std::string ph = str_or(ev, "ph");
+      const auto tid = static_cast<std::uint64_t>(num_or(ev, "tid"));
+      if (ph == "M") {
+        if (str_or(ev, "name") == "thread_name" && ev.has("args")) {
+          track_labels[tid] = str_or(ev.at("args"), "name");
+        }
+        continue;
+      }
+      if (ph != "X") continue;  // instants/counters carry no duration
+      Span s;
+      s.track = tid;
+      s.name = str_or(ev, "name");
+      s.ts = num_or(ev, "ts") / kMicros;
+      s.dur = num_or(ev, "dur") / kMicros;
+      s.args = ev.has("args") ? &ev.at("args") : nullptr;
+      if (!any_span || s.ts < t_min) t_min = s.ts;
+      if (!any_span || s.end() > t_max) t_max = s.end();
+      any_span = true;
+
+      if (starts_with(s.name, "group ")) {
+        groups.push_back(std::move(s));
+      } else if (s.name == "migration-stall") {
+        stalls.push_back(std::move(s));
+      } else if (starts_with(s.name, "migrate") &&
+                 s.name.find("rejected") == std::string::npos) {
+        copies.push_back(std::move(s));
+      } else if (has_arg(s, "task")) {
+        tasks.push_back(std::move(s));
+      }
+      // Other spans ("profile", custom) don't enter the accounting.
+    }
+  }
+
+  a.start_seconds = any_span ? t_min : 0.0;
+  a.end_seconds = any_span ? t_max : 0.0;
+  a.makespan_seconds = a.end_seconds - a.start_seconds;
+  a.group_spans = groups.size();
+  a.task_spans = tasks.size();
+
+  // ---- data movement -------------------------------------------------
+  for (const Span& c : copies) {
+    a.copy_busy_seconds += c.dur;
+    a.bytes_moved += arg_u64(c, "bytes");
+  }
+  a.migrations = copies.size();
+  for (const Span& s : stalls) a.stall_seconds += s.dur;
+  if (a.copy_busy_seconds > 0.0) {
+    const double overlapped = a.copy_busy_seconds - a.stall_seconds;
+    a.overlap_efficiency =
+        overlapped > 0.0 ? overlapped / a.copy_busy_seconds : 0.0;
+  }
+
+  // ---- critical path -------------------------------------------------
+  // Groups run serially (the phase protocol barriers between them), so the
+  // longest task inside each group span chains into the path; exposed
+  // migration stalls sit between groups and add directly.
+  std::sort(groups.begin(), groups.end(),
+            [](const Span& x, const Span& y) { return x.ts < y.ts; });
+  for (const Span& g : groups) {
+    double longest = 0.0;
+    for (const Span& t : tasks) {
+      if (t.ts >= g.ts && t.ts < g.end()) longest = std::max(longest, t.dur);
+    }
+    a.critical_path_seconds += longest;
+  }
+  if (groups.empty() && !tasks.empty()) {
+    // Ungrouped trace: fall back to the longest task as the floor.
+    double longest = 0.0;
+    for (const Span& t : tasks) longest = std::max(longest, t.dur);
+    a.critical_path_seconds = longest;
+  }
+  a.critical_path_seconds += a.stall_seconds;
+  if (a.makespan_seconds > 0.0) {
+    a.critical_path_fraction = a.critical_path_seconds / a.makespan_seconds;
+  }
+
+  // ---- per-worker utilization ----------------------------------------
+  std::map<std::uint64_t, WorkerUtilization> lanes;
+  for (const Span& t : tasks) {
+    WorkerUtilization& w = lanes[t.track];
+    w.track = t.track;
+    ++w.tasks;
+    w.busy_seconds += t.dur;
+  }
+  for (auto& [track, w] : lanes) {
+    const auto it = track_labels.find(track);
+    w.name = it != track_labels.end() ? it->second
+                                      : "track " + std::to_string(track);
+    if (a.makespan_seconds > 0.0) {
+      w.utilization = w.busy_seconds / a.makespan_seconds;
+    }
+    a.workers.push_back(std::move(w));
+  }
+
+  // ---- report echoes -------------------------------------------------
+  if (report != nullptr && report->is_object()) {
+    a.has_report = true;
+    a.workload = str_or(*report, "workload");
+    a.policy = str_or(*report, "policy");
+    a.strategy = str_or(*report, "strategy");
+    a.report_overlap_fraction = num_or(*report, "overlap_fraction");
+  }
+
+  // ---- placement rationale (final plan) ------------------------------
+  if (explain != nullptr && explain->is_object() && explain->has("plans") &&
+      explain->at("plans").is_array() &&
+      !explain->at("plans").array.empty()) {
+    a.has_explain = true;
+    if (a.strategy.empty()) a.strategy = str_or(*explain, "strategy");
+    if (a.workload.empty()) a.workload = str_or(*explain, "workload");
+    if (a.policy.empty()) a.policy = str_or(*explain, "policy");
+    const JsonValue& plan = explain->at("plans").array.back();
+    a.local_gain = num_or(plan, "local_gain");
+    a.global_gain = num_or(plan, "global_gain");
+    a.predicted_gain = num_or(plan, "predicted_gain");
+    if (plan.has("candidates") && plan.at("candidates").is_array()) {
+      for (const JsonValue& c : plan.at("candidates").array) {
+        if (!c.is_object()) continue;
+        RationaleRow row;
+        row.object = str_or(c, "object");
+        row.chunk = static_cast<std::uint64_t>(num_or(c, "chunk"));
+        row.pass = str_or(c, "pass");
+        row.group = static_cast<std::uint64_t>(num_or(c, "group"));
+        row.sensitivity = str_or(c, "sensitivity");
+        row.benefit = num_or(c, "benefit");
+        row.cost = num_or(c, "cost");
+        row.extra_cost = num_or(c, "extra_cost");
+        row.value = num_or(c, "value");
+        row.bytes = static_cast<std::uint64_t>(num_or(c, "bytes"));
+        row.accepted = c.has("accepted") && c.at("accepted").boolean;
+        row.reason = str_or(c, "reason");
+        a.rationale.push_back(std::move(row));
+      }
+    }
+  }
+
+  return a;
+}
+
+void write_analysis_json(std::ostream& os, const Analysis& a) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", a.schema_version);
+  w.kv("dropped_events", a.dropped_events);
+  w.kv("makespan_seconds", a.makespan_seconds);
+  w.kv("critical_path_seconds", a.critical_path_seconds);
+  w.kv("critical_path_fraction", a.critical_path_fraction);
+  w.kv("copy_busy_seconds", a.copy_busy_seconds);
+  w.kv("stall_seconds", a.stall_seconds);
+  w.kv("overlap_efficiency", a.overlap_efficiency);
+  w.kv("migrations", a.migrations);
+  w.kv("bytes_moved", a.bytes_moved);
+  w.kv("group_spans", a.group_spans);
+  w.kv("task_spans", a.task_spans);
+  w.key("workers").begin_array();
+  for (const WorkerUtilization& u : a.workers) {
+    w.begin_object();
+    w.kv("track", u.track);
+    w.kv("name", u.name);
+    w.kv("tasks", u.tasks);
+    w.kv("busy_seconds", u.busy_seconds);
+    w.kv("utilization", u.utilization);
+    w.end_object();
+  }
+  w.end_array();
+  if (a.has_report) {
+    w.key("report").begin_object();
+    w.kv("workload", a.workload);
+    w.kv("policy", a.policy);
+    w.kv("strategy", a.strategy);
+    w.kv("overlap_fraction", a.report_overlap_fraction);
+    w.end_object();
+  }
+  if (a.has_explain) {
+    w.key("plan").begin_object();
+    w.kv("strategy", a.strategy);
+    w.kv("local_gain", a.local_gain);
+    w.kv("global_gain", a.global_gain);
+    w.kv("predicted_gain", a.predicted_gain);
+    w.key("rationale").begin_array();
+    for (const RationaleRow& r : a.rationale) {
+      w.begin_object();
+      w.kv("object", r.object);
+      w.kv("chunk", r.chunk);
+      w.kv("pass", r.pass);
+      w.kv("group", r.group);
+      w.kv("sensitivity", r.sensitivity);
+      w.kv("benefit", r.benefit);
+      w.kv("cost", r.cost);
+      w.kv("extra_cost", r.extra_cost);
+      w.kv("value", r.value);
+      w.kv("bytes", r.bytes);
+      w.kv("accepted", r.accepted);
+      w.kv("reason", r.reason);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  os << '\n';
+}
+
+void write_analysis_tables(std::ostream& os, const Analysis& a) {
+  {
+    Table t({"metric", "value"});
+    if (a.has_report) {
+      t.add_row({"workload", a.workload});
+      t.add_row({"policy", a.policy});
+    }
+    if (!a.strategy.empty()) t.add_row({"strategy", a.strategy});
+    t.add_row({"makespan (s)", Table::num(a.makespan_seconds, 6)});
+    t.add_row({"critical path (s)", Table::num(a.critical_path_seconds, 6)});
+    t.add_row({"critical path frac", Table::num(a.critical_path_fraction, 4)});
+    t.add_row({"copy busy (s)", Table::num(a.copy_busy_seconds, 6)});
+    t.add_row({"stall (s)", Table::num(a.stall_seconds, 6)});
+    t.add_row({"overlap efficiency", Table::num(a.overlap_efficiency, 4)});
+    t.add_row({"migrations", std::to_string(a.migrations)});
+    t.add_row({"bytes moved", std::to_string(a.bytes_moved)});
+    t.add_row({"group spans", std::to_string(a.group_spans)});
+    t.add_row({"task spans", std::to_string(a.task_spans)});
+    t.add_row({"dropped events", std::to_string(a.dropped_events)});
+    t.print(os);
+  }
+  if (!a.workers.empty()) {
+    os << "\nWorker utilization\n";
+    Table t({"lane", "tasks", "busy (s)", "utilization"});
+    for (const WorkerUtilization& u : a.workers) {
+      t.add_row({u.name, std::to_string(u.tasks),
+                 Table::num(u.busy_seconds, 6), Table::num(u.utilization, 4)});
+    }
+    t.print(os);
+  }
+  if (a.has_explain) {
+    os << "\nPlacement rationale (final plan: strategy=" << a.strategy
+       << ", local gain " << Table::num(a.local_gain, 6) << " s, global gain "
+       << Table::num(a.global_gain, 6) << " s)\n";
+    Table t({"object", "chunk", "pass", "group", "sensitivity", "benefit",
+             "cost", "extra", "value", "bytes", "verdict"});
+    for (const RationaleRow& r : a.rationale) {
+      t.add_row({r.object, std::to_string(r.chunk), r.pass,
+                 std::to_string(r.group), r.sensitivity,
+                 Table::num(r.benefit, 6), Table::num(r.cost, 6),
+                 Table::num(r.extra_cost, 6), Table::num(r.value, 6),
+                 std::to_string(r.bytes),
+                 r.accepted ? "accepted" : r.reason});
+    }
+    t.print(os);
+  }
+}
+
+}  // namespace tahoe::trace

@@ -25,10 +25,15 @@ void write_args(JsonWriter& w, const TraceEvent& ev) {
 
 void write_chrome_trace(
     std::ostream& os, const std::vector<TraceEvent>& events,
-    const std::vector<std::pair<TrackId, std::string>>& track_names) {
+    const std::vector<std::pair<TrackId, std::string>>& track_names,
+    std::uint64_t dropped_events) {
   JsonWriter w(os);
   w.begin_object();
   w.kv("displayTimeUnit", "ms");
+  w.key("tahoe").begin_object();
+  w.kv("schema_version", std::uint64_t{2});
+  w.kv("dropped_events", dropped_events);
+  w.end_object();
   w.key("traceEvents").begin_array();
 
   // Metadata: name every track that appears, so Perfetto shows labels
@@ -110,8 +115,8 @@ bool export_chrome_trace(Tracer& tracer, const std::string& path) {
     return false;
   }
   const std::vector<TraceEvent> events = tracer.drain();
-  write_chrome_trace(os, events, tracer.track_names());
   const std::uint64_t dropped = tracer.dropped();
+  write_chrome_trace(os, events, tracer.track_names(), dropped);
   if (dropped > 0) {
     TAHOE_WARN("trace rings dropped " << dropped
                                       << " events (enlarge ring capacity)");

@@ -16,10 +16,14 @@
 namespace tahoe::trace {
 
 /// Serialize `events` (with the given track labels) as a complete Chrome
-/// trace JSON document.
+/// trace JSON document. Besides "traceEvents" the document carries a
+/// top-level "tahoe" object ({"schema_version", "dropped_events"}) so
+/// post-run analysis can account for ring-buffer overflow drops; viewers
+/// ignore unknown top-level keys.
 void write_chrome_trace(
     std::ostream& os, const std::vector<TraceEvent>& events,
-    const std::vector<std::pair<TrackId, std::string>>& track_names);
+    const std::vector<std::pair<TrackId, std::string>>& track_names,
+    std::uint64_t dropped_events = 0);
 
 /// Drain `tracer` and write its trace to `path`. Returns false (after
 /// logging a warning) when the file cannot be opened. Unnamed tracks get a

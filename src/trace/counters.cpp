@@ -2,10 +2,28 @@
 
 namespace tahoe::trace {
 
-Counter& CounterRegistry::get(const std::string& name) {
+Counter& CounterRegistry::get_cell(const std::string& name, bool gauge) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  std::unique_ptr<Counter>& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+  std::unique_ptr<Cell>& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Cell>();
+    slot->is_gauge = gauge;  // first registration decides the kind
+  }
+  return slot->counter;
+}
+
+Counter& CounterRegistry::get(const std::string& name) {
+  return get_cell(name, /*gauge=*/false);
+}
+
+Counter& CounterRegistry::gauge(const std::string& name) {
+  return get_cell(name, /*gauge=*/true);
+}
+
+Histogram& CounterRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
@@ -14,15 +32,47 @@ std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot()
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
-  for (const auto& [name, counter] : counters_) {
-    out.emplace_back(name, counter->value());
+  for (const auto& [name, cell] : counters_) {
+    out.emplace_back(name, cell->counter.value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+CounterRegistry::snapshot_counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, cell] : counters_) {
+    if (!cell->is_gauge) out.emplace_back(name, cell->counter.value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+CounterRegistry::snapshot_gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, cell] : counters_) {
+    if (cell->is_gauge) out.emplace_back(name, cell->counter.value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+CounterRegistry::snapshot_histograms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->snapshot());
   }
   return out;
 }
 
 void CounterRegistry::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [name, counter] : counters_) counter->set(0);
+  for (auto& [name, cell] : counters_) cell->counter.set(0);
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::size_t CounterRegistry::size() const {

@@ -1,11 +1,19 @@
-// Runtime metrics registry: named monotonic counters with cheap updates
-// and coherent snapshots.
+// Runtime metrics registry: named monotonic counters, gauges and
+// log-bucketed histograms with cheap updates and coherent snapshots.
 //
-// Counters are registered once (mutex-protected name lookup) and then
+// Metrics are registered once (mutex-protected name lookup) and then
 // updated lock-free through the returned handle — the hot path is one
-// relaxed fetch_add. The runtime snapshots the registry at iteration
-// boundaries to feed both the trace timeline (counter tracks) and the
-// machine-readable run export (report_json.hpp).
+// relaxed fetch_add (or, for histograms, one bucket fetch_add). The
+// runtime snapshots the registry at iteration boundaries to feed both the
+// trace timeline (counter tracks) and the machine-readable run export
+// (report.hpp).
+//
+// Counters vs gauges. A counter is monotonic (add/increment): its exported
+// value is a cumulative total and deltas between snapshots are meaningful.
+// A gauge is a last-write-wins level (set): queue depths, occupancy. The
+// registry tags each metric at first registration so exporters and the
+// post-run analyzer never treat a queue-depth sample as a cumulative
+// total — they are serialized under separate "counters"/"gauges" keys.
 #pragma once
 
 #include <atomic>
@@ -17,9 +25,13 @@
 #include <utility>
 #include <vector>
 
+#include "trace/histogram.hpp"
+
 namespace tahoe::trace {
 
-/// One monotonic counter. Address-stable for the registry's lifetime.
+/// One metric cell. Address-stable for the registry's lifetime. Whether it
+/// is a counter or a gauge is a property of its registration, not of the
+/// cell: add() for counters, set() for gauges.
 class Counter {
  public:
   void add(std::uint64_t delta) noexcept {
@@ -40,21 +52,52 @@ class Counter {
 
 class CounterRegistry {
  public:
-  /// Find-or-create; the reference stays valid until the registry dies.
+  /// Find-or-create a monotonic counter; the reference stays valid until
+  /// the registry dies. If `name` was first registered as a gauge, the
+  /// gauge tag sticks (first registration wins).
   Counter& get(const std::string& name);
 
-  /// (name, value) pairs sorted by name. Values are relaxed reads — each
-  /// is individually coherent; the set is a point-in-time sample.
+  /// Find-or-create a gauge (last-write-wins level, updated with set()).
+  Counter& gauge(const std::string& name);
+
+  /// Find-or-create a histogram (log-bucketed durations; see
+  /// histogram.hpp).
+  Histogram& histogram(const std::string& name);
+
+  /// (name, value) pairs sorted by name — counters AND gauges together,
+  /// for consumers that sample everything onto trace counter tracks.
+  /// Values are relaxed reads: each is individually coherent; the set is a
+  /// point-in-time sample.
   std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
 
-  /// Zero every registered counter (between benchmark configurations).
+  /// Monotonic counters only — what belongs in a cumulative-totals export.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot_counters()
+      const;
+
+  /// Gauges only — point-in-time levels, meaningless to difference.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot_gauges() const;
+
+  /// All histograms, sorted by name.
+  std::vector<std::pair<std::string, HistogramSnapshot>> snapshot_histograms()
+      const;
+
+  /// Zero every registered metric (between benchmark configurations).
   void reset();
 
+  /// Number of scalar metrics (counters + gauges).
   std::size_t size() const;
 
  private:
+  struct Cell {
+    Counter counter;
+    bool is_gauge = false;
+  };
+
+  Counter& get_cell(const std::string& name, bool gauge);
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Cell>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// Process-wide registry used by the runtime's instrumentation points.

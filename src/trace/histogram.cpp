@@ -1,0 +1,56 @@
+#include "trace/histogram.hpp"
+
+namespace tahoe::trace {
+
+namespace {
+std::atomic<bool> g_histograms_enabled{false};
+}  // namespace
+
+bool histograms_enabled() noexcept {
+  return g_histograms_enabled.load(std::memory_order_relaxed);
+}
+
+void set_histograms_enabled(bool on) noexcept {
+  g_histograms_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q <= 0.0) return 0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th value, 1-based; q == 1 must land on the last value.
+  const double exact = q * static_cast<double>(n);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= rank) {
+      const std::uint64_t lo = bucket_lo(b);
+      const std::uint64_t hi = bucket_hi(b);
+      // Interpolate by the rank's position inside this bucket. The
+      // arithmetic stays in doubles only for the fraction so the result
+      // cannot exceed hi.
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(buckets[b]);
+      const std::uint64_t width = hi - lo;
+      std::uint64_t v = lo + static_cast<std::uint64_t>(
+                                 static_cast<double>(width) * frac);
+      if (v > max && max >= lo) v = max;  // clamp to observed max
+      return v;
+    }
+    seen += buckets[b];
+  }
+  return max;  // unreachable with a consistent snapshot
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+}
+
+}  // namespace tahoe::trace

@@ -1,0 +1,134 @@
+// Log-bucketed latency/duration histograms for the metrics registry.
+//
+// A Histogram is a fixed array of 65 power-of-two buckets over uint64
+// values (bucket 0 holds zeros; bucket b >= 1 holds [2^(b-1), 2^b - 1]),
+// so the record path is wait-free: one relaxed fetch_add on the bucket,
+// one on the running sum, and a relaxed CAS loop for the max. No
+// allocation, no locks, no floating point — safe from any thread,
+// including the executor's hot path.
+//
+// Snapshots are plain structs that merge bucket-wise, which is what makes
+// per-worker or per-run histograms aggregatable after the fact.
+// Percentiles come from the snapshot via linear interpolation inside the
+// crossing bucket — deterministic, and within a factor-of-2 bound of the
+// true value by construction.
+//
+// Values are dimensionless uint64s; the runtime's convention is
+// *nanoseconds* (record_seconds converts). Simulated paths record virtual
+// nanoseconds, real paths wall-clock nanoseconds — mirroring the two time
+// bases of the tracer.
+//
+// Recording sites gate on histograms_enabled() (one relaxed load), the
+// same overhead discipline as Tracer::enabled(): compiled in, near-free
+// when off.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace tahoe::trace {
+
+/// Point-in-time copy of a histogram. Mergeable; all derived statistics
+/// (count, percentiles) are computed from here, never from the live
+/// atomics, so one snapshot yields one coherent set of numbers.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 65;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint64_t b : buckets) n += b;
+    return n;
+  }
+  bool empty() const noexcept { return count() == 0; }
+
+  /// Lower edge of bucket `b` (0 for the zero bucket).
+  static std::uint64_t bucket_lo(std::size_t b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Inclusive upper edge of bucket `b`.
+  static std::uint64_t bucket_hi(std::size_t b) noexcept {
+    if (b == 0) return 0;
+    if (b >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  /// Value at quantile `q` in [0, 1], linearly interpolated inside the
+  /// crossing bucket and clamped to the observed max. 0 when empty.
+  std::uint64_t percentile(double q) const noexcept;
+
+  std::uint64_t p50() const noexcept { return percentile(0.50); }
+  std::uint64_t p90() const noexcept { return percentile(0.90); }
+  std::uint64_t p99() const noexcept { return percentile(0.99); }
+  /// Mean of recorded values (0 when empty).
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum) / static_cast<double>(n);
+  }
+
+  /// Bucket-wise accumulation (sum adds, max takes the larger).
+  void merge(const HistogramSnapshot& other) noexcept;
+};
+
+/// The live, concurrently-recordable histogram. Address-stable for the
+/// registry's lifetime, like Counter.
+class Histogram {
+ public:
+  static std::size_t bucket_of(std::uint64_t value) noexcept {
+    // 0 -> 0; otherwise bit_width in [1, 64] indexes buckets 1..64.
+    return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  /// Wait-free except for the (rare, bounded-contention) max update.
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (value > cur && !max_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Convenience for durations: seconds -> whole nanoseconds (negative
+  /// inputs clamp to 0 so a non-monotonic clock cannot corrupt a bucket).
+  void record_seconds(double seconds) noexcept {
+    record(seconds <= 0.0 ? 0
+                          : static_cast<std::uint64_t>(seconds * 1e9));
+  }
+
+  HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot s;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+      buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Process-wide switch for the histogram recording sites, mirroring
+/// Tracer::enabled(): binaries turn it on alongside --trace-out /
+/// --report-json so bare runs pay only the relaxed load per site.
+bool histograms_enabled() noexcept;
+void set_histograms_enabled(bool on) noexcept;
+
+}  // namespace tahoe::trace

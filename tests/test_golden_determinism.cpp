@@ -42,16 +42,36 @@ fault::FaultConfig golden_faults() {
 
 /// One fully reset simulated run serialized to JSON. Global state (fault
 /// streams, counters) is re-seeded/zeroed so the run only depends on the
-/// configured seeds.
+/// configured seeds. Uses the split counter/gauge/histogram snapshots —
+/// the same serialization path the bench harness uses for --report-json.
 std::string sim_run_json() {
   fault::global().configure(golden_faults());
   trace::global_counters().reset();
   auto app = workloads::make_workload("cg", workloads::Scale::Test);
-  core::Runtime rt(golden_config(hms::Backing::Virtual));
+  core::RuntimeConfig config = golden_config(hms::Backing::Virtual);
+  config.attribution = true;
+  core::Runtime rt(config);
   core::TahoePolicy policy(core::calibrate(rt.machine()).to_constants());
   const core::RunReport report = rt.run(*app, policy);
   std::ostringstream os;
-  report.write_json(os, trace::global_counters().snapshot());
+  auto& reg = trace::global_counters();
+  report.write_json(os, reg.snapshot_counters(), reg.snapshot_gauges(),
+                    reg.snapshot_histograms());
+  return os.str();
+}
+
+/// The same run's decision provenance (--explain-out payload).
+std::string sim_explain_json() {
+  fault::global().configure(golden_faults());
+  trace::global_counters().reset();
+  auto app = workloads::make_workload("cg", workloads::Scale::Test);
+  core::RuntimeConfig config = golden_config(hms::Backing::Virtual);
+  config.attribution = true;
+  core::Runtime rt(config);
+  core::TahoePolicy policy(core::calibrate(rt.machine()).to_constants());
+  const core::RunReport report = rt.run(*app, policy);
+  std::ostringstream os;
+  report.write_explain_json(os);
   return os.str();
 }
 
@@ -103,6 +123,28 @@ TEST_F(GoldenDeterminism, SimulatedRunIsByteIdentical) {
   // Sanity: the run is non-trivial and the faults really fired.
   EXPECT_NE(first.find("\"faults_injected\""), std::string::npos);
   EXPECT_EQ(first.find("\"faults_injected\":0,"), std::string::npos);
+}
+
+TEST_F(GoldenDeterminism, ExplainOutputIsByteIdentical) {
+  // Decision provenance must replay exactly: it deliberately excludes the
+  // one wall-clock field (decision_seconds), so two seeded runs serialize
+  // candidate-for-candidate identical explain documents.
+  const std::string first = sim_explain_json();
+  const std::string second = sim_explain_json();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(first.find("\"plans\":["), std::string::npos);
+  EXPECT_NE(first.find("\"candidates\":["), std::string::npos);
+  EXPECT_NE(first.find("\"reason\":"), std::string::npos);
+}
+
+TEST_F(GoldenDeterminism, AttributionTablesAreByteIdentical) {
+  // The report JSON now carries attribution + per-object migration rows;
+  // those ride the same determinism guarantee as the scalar fields.
+  const std::string first = sim_run_json();
+  EXPECT_NE(first.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(first.find("\"attribution\":["), std::string::npos);
+  EXPECT_NE(first.find("\"objects\":["), std::string::npos);
 }
 
 TEST_F(GoldenDeterminism, RealRunIsByteIdentical) {

@@ -1,0 +1,168 @@
+// Histogram unit tests: bucket boundaries of the log-spaced layout,
+// percentile interpolation, snapshot merging, concurrent recording, and
+// the registry plumbing that serves address-stable histograms.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "trace/counters.hpp"
+#include "trace/histogram.hpp"
+
+namespace tahoe::trace {
+namespace {
+
+TEST(Histogram, BucketOfPowerOfTwoBoundaries) {
+  // 0 has its own bucket; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+}
+
+TEST(Histogram, BucketEdgesAreConsistentWithBucketOf) {
+  for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(HistogramSnapshot::bucket_lo(b)), b);
+    EXPECT_EQ(Histogram::bucket_of(HistogramSnapshot::bucket_hi(b)), b);
+  }
+}
+
+TEST(Histogram, CountSumMax) {
+  Histogram h;
+  h.record(0);
+  h.record(5);
+  h.record(100);
+  h.record(7);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.sum, 112u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 28.0);
+}
+
+TEST(Histogram, RecordSecondsConvertsToNanosAndClampsNegative) {
+  Histogram h;
+  h.record_seconds(1e-6);   // 1000 ns
+  h.record_seconds(-3.0);   // clamped to 0
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.sum, 1000u);
+  EXPECT_EQ(s.buckets[0], 1u);  // the clamped negative
+  EXPECT_EQ(s.buckets[Histogram::bucket_of(1000)], 1u);
+}
+
+TEST(Histogram, PercentilesOnUniformSpread) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 1000u);
+  // Log buckets bound the answer within a factor of 2 of the true value
+  // and the interpolated result is clamped to the observed max.
+  const std::uint64_t p50 = s.p50();
+  EXPECT_GE(p50, 250u);
+  EXPECT_LE(p50, 1000u);
+  const std::uint64_t p99 = s.p99();
+  EXPECT_GE(p99, 495u);
+  EXPECT_LE(p99, 1000u);
+  EXPECT_GE(s.p90(), s.p50());
+  EXPECT_GE(s.p99(), s.p90());
+  EXPECT_EQ(s.percentile(1.0), s.max);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero) {
+  const HistogramSnapshot s = Histogram().snapshot();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.p50(), 0u);
+  EXPECT_EQ(s.p99(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, PercentileSingleValue) {
+  Histogram h;
+  h.record(42);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.p50(), 42u);
+  EXPECT_EQ(s.p99(), 42u);
+  EXPECT_EQ(s.max, 42u);
+}
+
+TEST(Histogram, MergeIsBucketwiseSumAndMaxOfMax) {
+  Histogram a;
+  Histogram b;
+  a.record(3);
+  a.record(1000);
+  b.record(3);
+  b.record(70000);
+  HistogramSnapshot sa = a.snapshot();
+  const HistogramSnapshot sb = b.snapshot();
+  sa.merge(sb);
+  EXPECT_EQ(sa.count(), 4u);
+  EXPECT_EQ(sa.sum, 3u + 1000u + 3u + 70000u);
+  EXPECT_EQ(sa.max, 70000u);
+  EXPECT_EQ(sa.buckets[Histogram::bucket_of(3)], 2u);
+  // Merging preserves the per-bucket totals a sum over workers needs.
+  EXPECT_EQ(sa.buckets[Histogram::bucket_of(1000)], 1u);
+  EXPECT_EQ(sa.buckets[Histogram::bucket_of(70000)], 1u);
+}
+
+TEST(Histogram, ResetZeroesEverything) {
+  Histogram h;
+  h.record(9);
+  h.reset();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.sum, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record((i % 1024) + static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), kThreads * kPerThread);
+  EXPECT_EQ(s.max, 1023u + kThreads - 1);
+}
+
+TEST(Histogram, RegistryServesAddressStableHistograms) {
+  CounterRegistry reg;
+  Histogram& h1 = reg.histogram("test.h");
+  Histogram& h2 = reg.histogram("test.h");
+  EXPECT_EQ(&h1, &h2);
+  h1.record(17);
+  const auto snaps = reg.snapshot_histograms();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].first, "test.h");
+  EXPECT_EQ(snaps[0].second.count(), 1u);
+  // Registry reset zeroes but never invalidates the reference.
+  reg.reset();
+  EXPECT_TRUE(h1.snapshot().empty());
+  h1.record(1);
+  EXPECT_EQ(reg.snapshot_histograms()[0].second.count(), 1u);
+}
+
+TEST(Histogram, GlobalEnableSwitch) {
+  EXPECT_FALSE(histograms_enabled());  // default off
+  set_histograms_enabled(true);
+  EXPECT_TRUE(histograms_enabled());
+  set_histograms_enabled(false);
+  EXPECT_FALSE(histograms_enabled());
+}
+
+}  // namespace
+}  // namespace tahoe::trace

@@ -1,0 +1,106 @@
+// tahoe_inspect: post-run analyzer for Tahoe-TP trace/report artifacts.
+//
+//   tahoe_inspect --trace=run.trace.json
+//                 [--report=run.report.json] [--explain=run.explain.json]
+//                 [--format=table|json] [--out=analysis.json]
+//
+// Loads the Chrome trace (plus optional run report and --explain-out
+// documents), computes the DAG critical path, migration-overlap
+// efficiency, per-worker utilization and the placement rationale of the
+// final plan, and renders them as aligned tables (default) or as one
+// deterministic JSON object suitable for golden comparisons.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/flags.hpp"
+#include "trace/analyze.hpp"
+#include "trace/json.hpp"
+
+namespace {
+
+std::optional<tahoe::trace::JsonValue> load_json(const std::string& path,
+                                                 const char* what) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "tahoe_inspect: cannot open " << what << " file '" << path
+              << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    return tahoe::trace::parse_json(buf.str());
+  } catch (const std::exception& e) {
+    std::cerr << "tahoe_inspect: failed to parse " << what << " '" << path
+              << "': " << e.what() << '\n';
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tahoe::Flags flags;
+  flags.define_string("trace", "", "Chrome trace JSON (required)");
+  flags.define_string("report", "", "run report JSON (optional)");
+  flags.define_string("explain", "", "planner --explain-out JSON (optional)");
+  flags.define_string("format", "table", "output format: table or json");
+  flags.define_string("out", "", "write output to this file instead of stdout");
+
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n' << flags.usage(argv[0]);
+    return 2;
+  }
+  const std::string trace_path = flags.get_string("trace");
+  const std::string format = flags.get_string("format");
+  if (trace_path.empty()) {
+    std::cerr << "tahoe_inspect: --trace is required\n"
+              << flags.usage(argv[0]);
+    return 2;
+  }
+  if (format != "table" && format != "json") {
+    std::cerr << "tahoe_inspect: --format must be 'table' or 'json'\n";
+    return 2;
+  }
+
+  const auto trace_doc = load_json(trace_path, "trace");
+  if (!trace_doc) return 1;
+
+  std::optional<tahoe::trace::JsonValue> report;
+  if (!flags.get_string("report").empty()) {
+    report = load_json(flags.get_string("report"), "report");
+    if (!report) return 1;
+  }
+  std::optional<tahoe::trace::JsonValue> explain;
+  if (!flags.get_string("explain").empty()) {
+    explain = load_json(flags.get_string("explain"), "explain");
+    if (!explain) return 1;
+  }
+
+  const tahoe::trace::Analysis analysis =
+      tahoe::trace::analyze(*trace_doc, report ? &*report : nullptr,
+                            explain ? &*explain : nullptr);
+
+  std::ofstream file_out;
+  std::ostream* os = &std::cout;
+  if (!flags.get_string("out").empty()) {
+    file_out.open(flags.get_string("out"));
+    if (!file_out) {
+      std::cerr << "tahoe_inspect: cannot open output file '"
+                << flags.get_string("out") << "'\n";
+      return 1;
+    }
+    os = &file_out;
+  }
+  if (format == "json") {
+    tahoe::trace::write_analysis_json(*os, analysis);
+  } else {
+    tahoe::trace::write_analysis_tables(*os, analysis);
+  }
+  return 0;
+}
