@@ -1,6 +1,7 @@
 // Quickstart: the smallest complete Tahoe-TP program.
 //
-// 1. Describe the heterogeneous machine (DRAM + NVM).
+// 1. Describe the heterogeneous machine (DRAM + NVM by default;
+//    --machine=cxl selects a four-tier HBM + DRAM + CXL-DRAM + NVM box).
 // 2. Write an iterative task-parallel application against the public API:
 //    allocate data objects, declare per-task access sets, build the
 //    per-iteration task graph.
@@ -36,10 +37,10 @@ class QuickstartApp : public core::Application {
   void setup(hms::ObjectRegistry& registry,
              const hms::ChunkingPolicy& chunking) override {
     (void)chunking;
-    // Everything starts on NVM; the runtime profiles the first iterations
-    // and migrates what matters into DRAM.
-    table_ = registry.create("table", 48 * kMiB, memsim::kNvm);
-    index_ = registry.create("index", 24 * kMiB, memsim::kNvm);
+    // Everything starts on the capacity tier; the runtime profiles the
+    // first iterations and migrates what matters into the faster tiers.
+    table_ = registry.create("table", 48 * kMiB, registry.capacity_tier());
+    index_ = registry.create("index", 24 * kMiB, registry.capacity_tier());
   }
 
   void build_iteration(task::GraphBuilder& builder,
@@ -93,6 +94,12 @@ int main(int argc, char** argv) {
   flags.define_string("explain-out", "",
                       "write the Tahoe run's plan provenance (candidates, "
                       "weights, accept/reject reasons) as JSON here");
+  flags.define_string("machine", "platform-a",
+                      "machine model: platform-a (DRAM+NVM) or cxl "
+                      "(HBM+DRAM+CXL-DRAM+NVM, exercises the N-tier path)");
+  flags.define_bool("deterministic", false,
+                    "zero out the wall-clock-measured planning cost so "
+                    "same-seed runs write byte-identical reports");
   tahoe::fault::register_flags(flags);
   flags.parse(argc, argv);
   tahoe::fault::configure_from_flags(flags);
@@ -103,24 +110,45 @@ int main(int argc, char** argv) {
     trace::set_histograms_enabled(true);
   }
 
-  // A machine whose NVM has 1/2 the DRAM bandwidth and 4x its latency
-  // would need Quartz twice; the simulator just takes both numbers.
-  memsim::DeviceModel nvm = memsim::devices::nvm_bw_fraction(
-      memsim::devices::dram(32 * kMiB), 0.5, 4 * kGiB);
-  nvm.read_lat_s *= 4.0;
-  nvm.write_lat_s *= 4.0;
   core::RuntimeConfig config;
-  config.machine = memsim::machines::platform_a(nvm, 32 * kMiB);
+  const std::string machine_name = flags.get_string("machine");
+  if (machine_name == "cxl") {
+    // Four tiers, sized so the 72 MiB working set cannot fit any single
+    // fast tier: the planner has to spread it across the hierarchy.
+    config.machine = memsim::machines::cxl_platform(16 * kMiB, 32 * kMiB,
+                                                    56 * kMiB, 4 * kGiB);
+  } else if (machine_name == "platform-a") {
+    // A machine whose NVM has 1/2 the DRAM bandwidth and 4x its latency
+    // would need Quartz twice; the simulator just takes both numbers.
+    memsim::DeviceModel nvm = memsim::devices::nvm_bw_fraction(
+        memsim::devices::dram(32 * kMiB), 0.5, 4 * kGiB);
+    nvm.read_lat_s *= 4.0;
+    nvm.write_lat_s *= 4.0;
+    config.machine = memsim::machines::platform_a(nvm, 32 * kMiB);
+  } else {
+    std::cerr << "unknown --machine '" << machine_name
+              << "' (expected platform-a or cxl)\n";
+    return 2;
+  }
   config.backing = hms::Backing::Virtual;  // timing-only run
   config.attribution = !report_json.empty() || !explain_out.empty();
+  if (flags.get_bool("deterministic")) config.fixed_decision_seconds = 0.0;
 
   core::Runtime runtime(config);
+
+  const memsim::TierId fast = config.machine.fastest_tier();
+  const memsim::TierId cap = config.machine.capacity_tier();
+  const bool two_tier = config.machine.num_tiers() == 2;
+  const std::string fast_label =
+      two_tier ? "DRAM-only" : config.machine.tier(fast).name + "-only";
+  const std::string cap_label =
+      two_tier ? "NVM-only" : config.machine.tier(cap).name + "-only";
 
   QuickstartApp dram_app;
   QuickstartApp nvm_app;
   QuickstartApp tahoe_app;
-  const core::RunReport dram = runtime.run_static(dram_app, memsim::kDram);
-  const core::RunReport nvm_only = runtime.run_static(nvm_app, memsim::kNvm);
+  const core::RunReport dram = runtime.run_static(dram_app, fast);
+  const core::RunReport nvm_only = runtime.run_static(nvm_app, cap);
 
   // Calibrate once per machine, then run under the Tahoe policy. The
   // trace covers only this run: the static baselines share the same
@@ -132,8 +160,10 @@ int main(int argc, char** argv) {
   const core::RunReport tahoe = runtime.run(tahoe_app, policy);
 
   std::cout << "quickstart (steady-state seconds per iteration)\n"
-            << "  DRAM-only : " << dram.steady_iteration_seconds() << "\n"
-            << "  NVM-only  : " << nvm_only.steady_iteration_seconds() << "\n"
+            << "  " << fast_label << " : " << dram.steady_iteration_seconds()
+            << "\n"
+            << "  " << cap_label << "  : "
+            << nvm_only.steady_iteration_seconds() << "\n"
             << "  Tahoe     : " << tahoe.steady_iteration_seconds()
             << "  (strategy: " << tahoe.strategy
             << ", migrations: " << tahoe.migrations
@@ -143,8 +173,9 @@ int main(int argc, char** argv) {
                      dram.steady_iteration_seconds();
   const double closed =
       nvm_only.steady_iteration_seconds() - tahoe.steady_iteration_seconds();
-  std::cout << "  -> Tahoe closed " << closed / gap * 100.0
-            << "% of the DRAM/NVM gap\n";
+  std::cout << "  -> Tahoe closed " << closed / gap * 100.0 << "% of the "
+            << (two_tier ? "DRAM/NVM" : "fast-tier/capacity-tier")
+            << " gap\n";
 
   if (!trace_out.empty() &&
       trace::export_chrome_trace(trace::global(), trace_out)) {

@@ -13,8 +13,11 @@ memsim::Machine memory_mode_machine(const memsim::Machine& base,
   TAHOE_REQUIRE(conflict_penalty >= 0.0 && conflict_penalty < 1.0,
                 "conflict penalty out of range");
   memsim::Machine m = base;
-  const memsim::DeviceModel& dram = base.dram();
-  const memsim::DeviceModel& nvm = base.nvm();
+  // Memory mode caches the capacity tier behind the fastest tier; middle
+  // tiers (if any) are left untouched — real memory-mode hardware only
+  // pairs one near and one far memory.
+  const memsim::DeviceModel& dram = base.tier(base.fastest_tier());
+  const memsim::DeviceModel& nvm = base.tier(base.capacity_tier());
 
   const double raw_hit = std::min(
       1.0, static_cast<double>(dram.capacity) /
@@ -32,7 +35,7 @@ memsim::Machine memory_mode_machine(const memsim::Machine& base,
   eff.write_bw = 1.0 / (h / dram.write_bw + miss / nvm.write_bw);
   eff.capacity = nvm.capacity;
 
-  m.devices[memsim::kNvm] = eff;
+  m.devices[base.capacity_tier()] = eff;
   return m;
 }
 

@@ -24,7 +24,8 @@ struct WalkResult {
 WalkResult walk(const core::PlanInputs& in, const std::vector<Unit>& start,
                 std::map<Unit, task::GroupId>& last_used) {
   const task::TaskGraph& graph = *in.graph;
-  const std::uint64_t capacity = in.machine->dram().capacity;
+  const memsim::TierId fast = in.machine->fastest_tier();
+  const std::uint64_t capacity = in.machine->tier(fast).capacity;
 
   WalkResult out;
   hms::SpaceManager space(capacity);
@@ -66,13 +67,14 @@ WalkResult walk(const core::PlanInputs& in, const std::vector<Unit>& start,
         space.remove(victim.first, victim.second);
         out.schedule.push_back(task::ScheduledCopy{
             victim.first, victim.second,
-            in.unit_bytes(victim.first, victim.second), memsim::kNvm, g, g});
+            in.unit_bytes(victim.first, victim.second),
+            in.machine->capacity_tier(), g, g});
       }
       if (!space.can_fit(bytes)) continue;
       (void)space.add(u.first, u.second, bytes);
       // Reactive: triggered exactly when needed — fully exposed.
       out.schedule.push_back(
-          task::ScheduledCopy{u.first, u.second, bytes, memsim::kDram, g, g});
+          task::ScheduledCopy{u.first, u.second, bytes, fast, g, g});
     }
   }
   for (const auto& [unit, bytes] : space.contents()) {
@@ -91,7 +93,7 @@ core::PlanDecision ReactiveLruPolicy::decide(const core::PlanInputs& in) {
 
   std::vector<Unit> current;
   for (const auto& [unit, dev] : in.current.entries()) {
-    if (dev == memsim::kDram) current.push_back(unit);
+    if (dev == in.machine->fastest_tier()) current.push_back(unit);
   }
 
   // Walk 1 settles recency; walk 2 from its end state produces the cyclic

@@ -54,7 +54,8 @@ core::PlanDecision XMemPolicy::decide(const core::PlanInputs& in) {
   });
 
   // Greedy fill of DRAM with whole objects.
-  const std::uint64_t capacity = in.machine->dram().capacity;
+  const std::uint64_t capacity =
+      in.machine->tier(in.machine->fastest_tier()).capacity;
   std::uint64_t used = 0;
   std::vector<hms::ObjectId> chosen;
   for (const Ranked& r : ranked) {

@@ -119,7 +119,7 @@ CalibrationResult calibrate(const memsim::Machine& machine) {
         run_micro(machine, memsim::kDram, 1, stream_traffic(kStreamBytes, 1));
     const double predicted =
         (r.counts.est_loads(interval) + r.counts.est_stores(interval)) * line /
-        machine.dram().read_bw;
+        machine.tier(memsim::kDram).read_bw;
     TAHOE_ASSERT(predicted > 0.0, "CF_bw prediction degenerate");
     result.cf_bw = r.duration / predicted;
   }
@@ -129,7 +129,7 @@ CalibrationResult calibrate(const memsim::Machine& machine) {
     const MicroResult r =
         run_micro(machine, memsim::kDram, 1, chase_traffic(kChaseBytes));
     const double predicted =
-        r.counts.est_loads(interval) * machine.dram().read_lat_s;
+        r.counts.est_loads(interval) * machine.tier(memsim::kDram).read_lat_s;
     TAHOE_ASSERT(predicted > 0.0, "CF_lat prediction degenerate");
     result.cf_lat = r.duration / predicted;
   }

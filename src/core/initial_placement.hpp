@@ -24,4 +24,12 @@ namespace tahoe::core {
 std::vector<UnitKey> choose_initial_dram(const std::vector<ObjectInfo>& objects,
                                          std::uint64_t dram_capacity);
 
+/// N-tier generalization: waterfall the static estimates over every
+/// constrained tier, fastest first — the tier-0 knapsack gets first pick,
+/// remaining units cascade to the next tier, and whatever is left stays on
+/// the capacity tier. Returns (unit, tier) pairs for the constrained
+/// tiers only.
+std::vector<std::pair<UnitKey, memsim::TierId>> choose_initial_tiers(
+    const std::vector<ObjectInfo>& objects, const memsim::Machine& machine);
+
 }  // namespace tahoe::core

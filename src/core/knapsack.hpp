@@ -41,4 +41,40 @@ KnapsackResult solve_greedy(std::span<const KnapsackItem> items,
 KnapsackResult solve_exact(std::span<const KnapsackItem> items,
                            std::uint64_t capacity);
 
+// ---- Multi-choice knapsack (MCKP) for N-tier placement. ----
+//
+// Each item is one data unit; it is assigned to exactly one of T
+// *constrained* tiers (each with its own capacity) or to the unconstrained
+// capacity tier (the implicit "skip" choice, value 0). values[t] is the
+// Eq. (7) weight of placing the unit on constrained tier t instead of
+// leaving it on the capacity tier. With T = 1 this degenerates to the 0/1
+// knapsack above.
+
+struct MultiTierItem {
+  std::uint64_t size = 0;
+  std::vector<double> values;  ///< one weight per constrained tier
+};
+
+struct MultiTierResult {
+  /// assignment[i] = constrained-tier index in [0, T), or -1 for the
+  /// capacity tier. Same length as the item span.
+  std::vector<int> assignment;
+  double total_value = 0.0;
+  std::vector<std::uint64_t> tier_sizes;  ///< bytes per constrained tier
+};
+
+/// Scaled multi-dimensional DP. Sizes are rounded *up* to per-tier
+/// granules, so no tier capacity is ever violated. The per-tier grid is
+/// derived from `state_budget` (total DP states allowed), keeping the
+/// state space bounded for any tier count. Choices with value <= 0 are
+/// never taken.
+MultiTierResult solve_multi(std::span<const MultiTierItem> items,
+                            std::span<const std::uint64_t> capacities,
+                            std::size_t state_budget = 1 << 18);
+
+/// Exhaustive oracle: enumerates all (T+1)^n assignments. Requires
+/// (T+1)^n <= 2^24.
+MultiTierResult solve_multi_exact(std::span<const MultiTierItem> items,
+                                  std::span<const std::uint64_t> capacities);
+
 }  // namespace tahoe::core

@@ -11,10 +11,22 @@ PerfModel::PerfModel(ModelConstants constants, memsim::DeviceModel dram,
                      memsim::DeviceModel nvm, double copy_engine_bw,
                      std::uint64_t sample_interval)
     : constants_(constants),
-      dram_(std::move(dram)),
-      nvm_(std::move(nvm)),
       copy_bw_(copy_engine_bw),
       interval_(sample_interval) {
+  tiers_.push_back(std::move(dram));
+  tiers_.push_back(std::move(nvm));
+  TAHOE_REQUIRE(copy_bw_ > 0.0, "copy bandwidth must be positive");
+  TAHOE_REQUIRE(interval_ > 0, "sample interval must be positive");
+  TAHOE_REQUIRE(constants_.t2 < constants_.t1, "thresholds must satisfy t2 < t1");
+}
+
+PerfModel::PerfModel(ModelConstants constants, const memsim::Machine& machine)
+    : constants_(constants),
+      tiers_(machine.devices),
+      copy_bw_(machine.copy_engine_bw),
+      copy_paths_(machine.copy_paths),
+      interval_(machine.sample_interval) {
+  TAHOE_REQUIRE(tiers_.size() >= 2, "perf model needs at least two tiers");
   TAHOE_REQUIRE(copy_bw_ > 0.0, "copy bandwidth must be positive");
   TAHOE_REQUIRE(interval_ > 0, "sample interval must be positive");
   TAHOE_REQUIRE(constants_.t2 < constants_.t1, "thresholds must satisfy t2 < t1");
@@ -42,48 +54,73 @@ Sensitivity PerfModel::classify(double bw_estimate) const {
 
 double PerfModel::benefit_bw(const memsim::SampledCounts& s,
                              bool distinguish_rw) const {
-  const double line = static_cast<double>(kCacheLine);
-  const double loads = s.est_loads(interval_);
-  const double stores = s.est_stores(interval_);
-  double nvm_time = 0.0;
-  if (distinguish_rw) {
-    // Eq. (4): reads and writes charged at the NVM read/write bandwidths.
-    nvm_time = loads * line / nvm_.read_bw + stores * line / nvm_.write_bw;
-  } else {
-    // Eq. (2): a single NVM bandwidth (read) for all traffic.
-    nvm_time = (loads + stores) * line / nvm_.read_bw;
-  }
-  const double dram_time = (loads + stores) * line / dram_.read_bw;
-  return (nvm_time - dram_time) * constants_.cf_bw;
+  return benefit_bw_pair(s, distinguish_rw,
+                         static_cast<memsim::TierId>(tiers_.size() - 1), 0);
 }
 
 double PerfModel::benefit_lat(const memsim::SampledCounts& s,
                               bool distinguish_rw) const {
-  const double loads = s.est_loads(interval_);
-  const double stores = s.est_stores(interval_);
-  double nvm_time = 0.0;
-  if (distinguish_rw) {
-    // Eq. (5).
-    nvm_time = loads * nvm_.read_lat_s + stores * nvm_.write_lat_s;
-  } else {
-    // Eq. (3).
-    nvm_time = (loads + stores) * nvm_.read_lat_s;
-  }
-  const double dram_time = (loads + stores) * dram_.read_lat_s;
-  return (nvm_time - dram_time) * constants_.cf_lat;
+  return benefit_lat_pair(s, distinguish_rw,
+                          static_cast<memsim::TierId>(tiers_.size() - 1), 0);
 }
 
 double PerfModel::benefit(const memsim::SampledCounts& s, double phase_seconds,
                           bool distinguish_rw) const {
+  return benefit_pair(s, phase_seconds, distinguish_rw,
+                      static_cast<memsim::TierId>(tiers_.size() - 1), 0);
+}
+
+double PerfModel::benefit_bw_pair(const memsim::SampledCounts& s,
+                                  bool distinguish_rw, memsim::TierId src,
+                                  memsim::TierId dst) const {
+  const memsim::DeviceModel& from = tiers_.at(src);
+  const memsim::DeviceModel& to = tiers_.at(dst);
+  const double line = static_cast<double>(kCacheLine);
+  const double loads = s.est_loads(interval_);
+  const double stores = s.est_stores(interval_);
+  double src_time = 0.0;
+  if (distinguish_rw) {
+    // Eq. (4): reads and writes charged at the source read/write bandwidths.
+    src_time = loads * line / from.read_bw + stores * line / from.write_bw;
+  } else {
+    // Eq. (2): a single source bandwidth (read) for all traffic.
+    src_time = (loads + stores) * line / from.read_bw;
+  }
+  const double dst_time = (loads + stores) * line / to.read_bw;
+  return (src_time - dst_time) * constants_.cf_bw;
+}
+
+double PerfModel::benefit_lat_pair(const memsim::SampledCounts& s,
+                                   bool distinguish_rw, memsim::TierId src,
+                                   memsim::TierId dst) const {
+  const memsim::DeviceModel& from = tiers_.at(src);
+  const memsim::DeviceModel& to = tiers_.at(dst);
+  const double loads = s.est_loads(interval_);
+  const double stores = s.est_stores(interval_);
+  double src_time = 0.0;
+  if (distinguish_rw) {
+    // Eq. (5).
+    src_time = loads * from.read_lat_s + stores * from.write_lat_s;
+  } else {
+    // Eq. (3).
+    src_time = (loads + stores) * from.read_lat_s;
+  }
+  const double dst_time = (loads + stores) * to.read_lat_s;
+  return (src_time - dst_time) * constants_.cf_lat;
+}
+
+double PerfModel::benefit_pair(const memsim::SampledCounts& s,
+                               double phase_seconds, bool distinguish_rw,
+                               memsim::TierId src, memsim::TierId dst) const {
   if (s.accesses() == 0) return 0.0;
   switch (classify(bandwidth_estimate(s, phase_seconds))) {
     case Sensitivity::Bandwidth:
-      return benefit_bw(s, distinguish_rw);
+      return benefit_bw_pair(s, distinguish_rw, src, dst);
     case Sensitivity::Latency:
-      return benefit_lat(s, distinguish_rw);
+      return benefit_lat_pair(s, distinguish_rw, src, dst);
     case Sensitivity::Mixed:
-      return std::max(benefit_bw(s, distinguish_rw),
-                      benefit_lat(s, distinguish_rw));
+      return std::max(benefit_bw_pair(s, distinguish_rw, src, dst),
+                      benefit_lat_pair(s, distinguish_rw, src, dst));
   }
   TAHOE_UNREACHABLE("bad sensitivity");
 }
@@ -94,10 +131,30 @@ double PerfModel::movement_cost(std::uint64_t bytes, double overlap_window,
 }
 
 double PerfModel::copy_seconds(std::uint64_t bytes, bool to_dram) const {
-  const double bw =
-      to_dram ? std::min({copy_bw_, nvm_.read_bw, dram_.write_bw})
-              : std::min({copy_bw_, dram_.read_bw, nvm_.write_bw});
+  const memsim::TierId last = static_cast<memsim::TierId>(tiers_.size() - 1);
+  return to_dram ? copy_seconds_pair(bytes, last, 0)
+                 : copy_seconds_pair(bytes, 0, last);
+}
+
+double PerfModel::movement_cost_pair(std::uint64_t bytes,
+                                     double overlap_window, memsim::TierId src,
+                                     memsim::TierId dst) const {
+  return std::max(copy_seconds_pair(bytes, src, dst) - overlap_window, 0.0);
+}
+
+double PerfModel::copy_seconds_pair(std::uint64_t bytes, memsim::TierId src,
+                                    memsim::TierId dst) const {
+  const double bw = std::min({pair_copy_bw(src, dst), tiers_.at(src).read_bw,
+                              tiers_.at(dst).write_bw});
   return static_cast<double>(bytes) / bw;
+}
+
+double PerfModel::pair_copy_bw(memsim::TierId src,
+                               memsim::TierId dst) const noexcept {
+  for (const memsim::CopyPathLimit& p : copy_paths_) {
+    if (p.src == src && p.dst == dst) return p.bw;
+  }
+  return copy_bw_;
 }
 
 }  // namespace tahoe::core

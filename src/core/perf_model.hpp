@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "memsim/device.hpp"
+#include "memsim/machine.hpp"
 #include "memsim/sampler.hpp"
 
 namespace tahoe::core {
@@ -43,7 +45,17 @@ class PerfModel {
             memsim::DeviceModel nvm, double copy_engine_bw,
             std::uint64_t sample_interval);
 
+  /// N-tier construction: models every tier of `machine`, including its
+  /// per-pair copy-engine limits. On a two-tier machine this is
+  /// numerically identical to the (dram, nvm) constructor.
+  PerfModel(ModelConstants constants, const memsim::Machine& machine);
+
   const ModelConstants& constants() const noexcept { return constants_; }
+
+  std::size_t num_tiers() const noexcept { return tiers_.size(); }
+  const memsim::DeviceModel& tier(memsim::TierId t) const {
+    return tiers_.at(t);
+  }
 
   /// Eq. (1): estimated main-memory bandwidth consumption of a data unit
   /// during a phase of duration `phase_seconds`:
@@ -79,11 +91,42 @@ class PerfModel {
   /// min(copy engine, source read bandwidth, destination write bandwidth).
   double copy_seconds(std::uint64_t bytes, bool to_dram = true) const;
 
+  // ---- Tier-pair generalizations (N-tier hierarchies). On a two-tier
+  // machine, (src=kNvm, dst=kDram) reproduces the to_dram=true overloads
+  // exactly and (src=kDram, dst=kNvm) the to_dram=false ones.
+
+  /// Eq. (2)/(4) generalized: benefit of serving the unit's traffic from
+  /// tier `dst` instead of tier `src` under the bandwidth model.
+  double benefit_bw_pair(const memsim::SampledCounts& s, bool distinguish_rw,
+                         memsim::TierId src, memsim::TierId dst) const;
+
+  /// Eq. (3)/(5) generalized: latency-model analogue.
+  double benefit_lat_pair(const memsim::SampledCounts& s, bool distinguish_rw,
+                          memsim::TierId src, memsim::TierId dst) const;
+
+  /// Full benefit for a src->dst move: classify and pick the equation.
+  double benefit_pair(const memsim::SampledCounts& s, double phase_seconds,
+                      bool distinguish_rw, memsim::TierId src,
+                      memsim::TierId dst) const;
+
+  /// Eq. (6) generalized to an arbitrary tier pair.
+  double movement_cost_pair(std::uint64_t bytes, double overlap_window,
+                            memsim::TierId src, memsim::TierId dst) const;
+
+  /// Raw copy time for a src->dst move using the pair's copy-engine limit.
+  double copy_seconds_pair(std::uint64_t bytes, memsim::TierId src,
+                           memsim::TierId dst) const;
+
  private:
+  double pair_copy_bw(memsim::TierId src, memsim::TierId dst) const noexcept;
+
   ModelConstants constants_;
-  memsim::DeviceModel dram_;
-  memsim::DeviceModel nvm_;
+  /// Ordered tier models, fastest first; two-tier machines store
+  /// {dram, nvm}. The legacy two-argument methods read tiers_.front() and
+  /// tiers_.back().
+  std::vector<memsim::DeviceModel> tiers_;
   double copy_bw_;
+  std::vector<memsim::CopyPathLimit> copy_paths_;
   std::uint64_t interval_;
 };
 

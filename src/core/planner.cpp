@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "common/assert.hpp"
@@ -169,7 +170,7 @@ std::vector<UnitWeight> group_weights(
   const double duration = prof.group_duration(g);
 
   // Hypothetical space state for extra-cost estimation.
-  hms::SpaceManager space(in.machine->dram().capacity);
+  hms::SpaceManager space(in.machine->tier(memsim::kDram).capacity);
   for (const UnitKey& u : residents_before) {
     (void)space.add(u.object, u.chunk, in.unit_bytes(u.object, u.chunk));
   }
@@ -225,10 +226,12 @@ PlanDecision TahoePolicy::decide(const PlanInputs& in) {
   TAHOE_REQUIRE(in.graph != nullptr && in.machine != nullptr &&
                     in.profiles != nullptr,
                 "tahoe policy needs graph, machine and profiles");
+  if (in.machine->num_tiers() > 2) return decide_multi(in);
   const memsim::Machine& machine = *in.machine;
-  const PerfModel model(constants_, machine.dram(), machine.nvm(),
-                        machine.copy_engine_bw, machine.sample_interval);
-  const std::uint64_t capacity = machine.dram().capacity;
+  const PerfModel model(constants_, machine.tier(memsim::kDram),
+                        machine.tier(memsim::kNvm), machine.copy_engine_bw,
+                        machine.sample_interval);
+  const std::uint64_t capacity = machine.tier(memsim::kDram).capacity;
   const std::size_t num_groups = in.profiles->groups.size();
 
   // ---------------- phase-local search ----------------
@@ -397,6 +400,473 @@ PlanDecision TahoePolicy::decide(const PlanInputs& in) {
   decision.global_gain = global_gain;
   if (!options_.proactive) {
     // Ablation: no lookahead — copies fire only when needed.
+    for (task::ScheduledCopy& c : decision.schedule) {
+      c.trigger_group = c.needed_group;
+    }
+  }
+  decision.decision_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_begin)
+          .count();
+  return decision;
+}
+
+// ---------------------------------------------------------------------------
+// N-tier planning path (more than two tiers).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Plan-state machinery for N-tier machines: one SpaceManager per
+/// *constrained* tier (every tier except the capacity tier) plus the
+/// unit -> tier residency map. Evictions always demote to the capacity
+/// tier; moves between constrained tiers free the source directly.
+class MultiPlanState {
+ public:
+  MultiPlanState(const PlanInputs& in,
+                 const std::vector<std::uint64_t>& capacities,
+                 memsim::TierId cap_tier)
+      : in_(in), cap_tier_(cap_tier) {
+    spaces_.reserve(capacities.size());
+    for (const std::uint64_t c : capacities) spaces_.emplace_back(c);
+  }
+
+  void seed(const std::map<Unit, memsim::TierId>& residents) {
+    for (const auto& [u, t] : residents) {
+      const bool ok =
+          spaces_[t].add(u.first, u.second, in_.unit_bytes(u.first, u.second));
+      TAHOE_ASSERT(ok, "decision-time residency exceeds a tier capacity");
+      tier_of_[u] = t;
+    }
+  }
+
+  const std::map<Unit, memsim::TierId>& residents() const noexcept {
+    return tier_of_;
+  }
+
+  std::optional<memsim::TierId> tier_of(const Unit& u) const {
+    const auto it = tier_of_.find(u);
+    if (it == tier_of_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Victims a fill of `bytes` on tier `t` would evict right now (what-if
+  /// query for extra-cost estimation; state is not mutated).
+  std::vector<Unit> hypothetical_victims(memsim::TierId t,
+                                         std::uint64_t bytes) const {
+    if (spaces_[t].can_fit(bytes)) return {};
+    return spaces_[t].pick_victims(bytes);
+  }
+
+  /// Make the chosen (unit, tier) assignments of group `g` resident,
+  /// emitting evictions (to the capacity tier) and fills into `schedule`
+  /// when provided. Mirrors PlanState::apply_group, including the
+  /// eviction-high-water clamp that keeps fills from firing before the
+  /// evictions whose space they use.
+  void apply_group(
+      task::GroupId g,
+      const std::vector<std::pair<UnitKey, memsim::TierId>>& chosen,
+      std::vector<task::ScheduledCopy>* schedule) {
+    std::vector<std::vector<Unit>> pinned(spaces_.size());
+    for (const auto& [u, t] : chosen) pinned[t].emplace_back(u.object, u.chunk);
+
+    std::vector<task::ScheduledCopy> group_fills;
+    for (const auto& [uk, t] : chosen) {
+      const Unit unit{uk.object, uk.chunk};
+      const std::uint64_t bytes = in_.unit_bytes(uk.object, uk.chunk);
+      const std::optional<memsim::TierId> cur = tier_of(unit);
+      if (cur.has_value() && *cur == t) continue;
+      const bool is_move = cur.has_value();
+      if (is_move) {
+        // Moving between constrained tiers frees the source directly.
+        spaces_[*cur].remove(unit.first, unit.second);
+        tier_of_.erase(unit);
+      }
+      const std::vector<Unit> victims = spaces_[t].pick_victims(bytes, pinned[t]);
+      if (!spaces_[t].can_fit(bytes) && victims.empty()) {
+        continue;  // cannot make room (e.g. everything else pinned)
+      }
+      for (const Unit& v : victims) {
+        spaces_[t].remove(v.first, v.second);
+        tier_of_.erase(v);
+        if (schedule != nullptr) {
+          const task::GroupId vt =
+              trigger_for(*in_.graph, UnitKey{v.first, v.second}, g);
+          evict_high_water_ = std::max(evict_high_water_, vt);
+          schedule->push_back(task::ScheduledCopy{
+              v.first, v.second, in_.unit_bytes(v.first, v.second), cap_tier_,
+              vt, g});
+        }
+      }
+      const bool ok = spaces_[t].add(unit.first, unit.second, bytes);
+      TAHOE_ASSERT(ok, "fill does not fit after eviction");
+      tier_of_[unit] = t;
+      if (schedule != nullptr) {
+        task::ScheduledCopy fill{
+            uk.object, uk.chunk, bytes, t, trigger_for(*in_.graph, uk, g), g};
+        if (is_move) {
+          // The source tier's space frees only when this copy fires, so
+          // later fills must be ordered after it exactly like evictions;
+          // push it now (evictions and moves precede plain fills at equal
+          // triggers) and raise the high-water mark to its trigger.
+          fill.trigger_group = std::max(fill.trigger_group, evict_high_water_);
+          evict_high_water_ = fill.trigger_group;
+          schedule->push_back(fill);
+        } else {
+          group_fills.push_back(fill);
+        }
+      }
+    }
+    if (schedule != nullptr) {
+      for (task::ScheduledCopy& c : group_fills) {
+        c.trigger_group = std::max(c.trigger_group, evict_high_water_);
+        schedule->push_back(c);
+      }
+    }
+  }
+
+ private:
+  const PlanInputs& in_;
+  memsim::TierId cap_tier_;
+  std::vector<hms::SpaceManager> spaces_;
+  std::map<Unit, memsim::TierId> tier_of_;
+  task::GroupId evict_high_water_ = 0;
+};
+
+/// Eq. (7) terms of one unit for every constrained tier.
+struct MultiUnitWeight {
+  UnitKey unit;
+  Sensitivity sensitivity = Sensitivity::Mixed;
+  std::vector<double> benefit;     ///< per constrained tier
+  std::vector<double> cost;
+  std::vector<double> extra_cost;
+  double weight(std::size_t t) const noexcept {
+    return benefit[t] - cost[t] - extra_cost[t];
+  }
+};
+
+std::vector<MultiUnitWeight> multi_group_weights(
+    const PlanInputs& in, const PerfModel& model, task::GroupId g,
+    const MultiPlanState& state, memsim::TierId cap_tier,
+    bool distinguish_rw) {
+  const PhaseProfiles& prof = *in.profiles;
+  TAHOE_REQUIRE(g < prof.groups.size(), "group out of range");
+  const double duration = prof.group_duration(g);
+  const std::size_t T = model.num_tiers() - 1;
+
+  std::vector<MultiUnitWeight> out;
+  for (const auto& [unit, counts] : prof.groups[g].units) {
+    if (in.pinned(unit.object)) continue;
+    const memsim::SampledCounts per_it =
+        per_iteration(counts, prof.iterations_profiled);
+    if (per_it.accesses() == 0) continue;
+
+    MultiUnitWeight w;
+    w.unit = unit;
+    w.sensitivity = model.classify(model.bandwidth_estimate(per_it, duration));
+    w.benefit.assign(T, 0.0);
+    w.cost.assign(T, 0.0);
+    w.extra_cost.assign(T, 0.0);
+
+    const Unit u{unit.object, unit.chunk};
+    const std::optional<memsim::TierId> cur = state.tier_of(u);
+    const memsim::TierId src = cur.value_or(cap_tier);
+    const std::uint64_t bytes = in.unit_bytes(unit.object, unit.chunk);
+    for (std::size_t t = 0; t < T; ++t) {
+      const memsim::TierId tid = static_cast<memsim::TierId>(t);
+      // Benefit relative to the capacity-tier baseline, clamped to the
+      // phase duration as in the two-tier path.
+      w.benefit[t] = std::min(
+          model.benefit_pair(per_it, duration, distinguish_rw, cap_tier, tid),
+          duration);
+      if (cur.has_value() && *cur == tid) continue;  // resident: free
+      const task::GroupId trig = trigger_for(*in.graph, unit, g);
+      const double window = window_seconds(prof, trig, g);
+      const double copy = model.copy_seconds_pair(bytes, src, tid);
+      w.cost[t] = model.movement_cost_pair(bytes, window, src, tid) +
+                  kOverlapContention * std::min(copy, window);
+      for (const Unit& v : state.hypothetical_victims(tid, bytes)) {
+        w.extra_cost[t] += model.copy_seconds_pair(
+            in.unit_bytes(v.first, v.second), tid, cap_tier);
+      }
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+/// cyclic_preamble generalized to tier-valued start residencies: evict
+/// every possibly-resident unit that the start state does not claim, then
+/// fill each start unit onto its tier.
+std::vector<task::ScheduledCopy> cyclic_preamble_multi(
+    const PlanInputs& in, const std::map<Unit, memsim::TierId>& start,
+    const std::vector<task::ScheduledCopy>& body, memsim::TierId cap_tier) {
+  std::set<Unit> possible;
+  for (const auto& [unit, dev] : in.current.entries()) {
+    if (dev != cap_tier) possible.insert(unit);
+  }
+  for (const task::ScheduledCopy& c : body) {
+    if (c.dst != cap_tier) possible.insert(Unit{c.object, c.chunk});
+  }
+  const auto first_reference = [&in](const Unit& u) -> task::GroupId {
+    if (in.graph == nullptr) return 0;
+    const auto refs = in.graph->groups_referencing(u.first, u.second);
+    return refs.empty() ? 0 : refs.front();
+  };
+  std::map<Unit, memsim::TierId> current_tier;
+  for (const auto& [unit, dev] : in.current.entries()) {
+    if (dev != cap_tier) current_tier[unit] = dev;
+  }
+  std::vector<task::ScheduledCopy> preamble;
+  for (const Unit& u : possible) {
+    if (!start.contains(u)) {
+      preamble.push_back(task::ScheduledCopy{
+          u.first, u.second, in.unit_bytes(u.first, u.second), cap_tier, 0,
+          0});
+    }
+  }
+  for (const auto& [u, t] : start) {
+    // A start unit sitting on the wrong constrained tier must vacate it
+    // before any same-trigger fill can count on that space: demote it
+    // with the evictions (same-trigger copies run in schedule order), then
+    // fill it onto its tier like everything else.
+    const auto cur = current_tier.find(u);
+    if (cur != current_tier.end() && cur->second != t) {
+      preamble.push_back(task::ScheduledCopy{
+          u.first, u.second, in.unit_bytes(u.first, u.second), cap_tier, 0,
+          0});
+    }
+  }
+  for (const auto& [u, t] : start) {
+    preamble.push_back(task::ScheduledCopy{
+        u.first, u.second, in.unit_bytes(u.first, u.second), t, 0,
+        first_reference(u)});
+  }
+  return preamble;
+}
+
+}  // namespace
+
+PlanDecision TahoePolicy::decide_multi(const PlanInputs& in) {
+  const auto t_begin = std::chrono::steady_clock::now();
+  const memsim::Machine& machine = *in.machine;
+  const PerfModel model(constants_, machine);
+  const memsim::TierId cap_tier = machine.capacity_tier();
+  const std::size_t T = machine.num_tiers() - 1;  // constrained tiers
+  std::vector<std::uint64_t> capacities(T);
+  for (std::size_t t = 0; t < T; ++t) {
+    capacities[t] = machine.tier(static_cast<memsim::TierId>(t)).capacity;
+  }
+  const std::size_t num_groups = in.profiles->groups.size();
+
+  // ---------------- phase-local search ----------------
+  auto run_pass = [&](const std::map<Unit, memsim::TierId>& start_residents,
+                      std::vector<task::ScheduledCopy>* schedule,
+                      double* gain_out, std::vector<PlanCandidate>* prov)
+      -> std::map<Unit, memsim::TierId> {
+    MultiPlanState state(in, capacities, cap_tier);
+    state.seed(start_residents);
+    double gain = 0.0;
+    for (task::GroupId g = 0; g < num_groups; ++g) {
+      const std::vector<MultiUnitWeight> weights = multi_group_weights(
+          in, model, g, state, cap_tier, options_.distinguish_rw);
+      std::vector<MultiTierItem> items;
+      items.reserve(weights.size());
+      for (const MultiUnitWeight& w : weights) {
+        MultiTierItem item;
+        item.size = in.unit_bytes(w.unit.object, w.unit.chunk);
+        item.values.resize(T);
+        for (std::size_t t = 0; t < T; ++t) item.values[t] = w.weight(t);
+        items.push_back(std::move(item));
+      }
+      const MultiTierResult sol = solve_multi(items, capacities);
+      std::vector<std::pair<UnitKey, memsim::TierId>> chosen;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        if (sol.assignment[i] >= 0) {
+          chosen.emplace_back(weights[i].unit,
+                              static_cast<memsim::TierId>(sol.assignment[i]));
+        }
+      }
+      if (prov != nullptr) {
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+          for (std::size_t t = 0; t < T; ++t) {
+            const MultiUnitWeight& uw = weights[i];
+            const bool accepted = sol.assignment[i] == static_cast<int>(t);
+            PlanCandidate c;
+            c.object_id = static_cast<std::uint64_t>(uw.unit.object);
+            c.chunk = uw.unit.chunk;
+            c.pass = "local";
+            c.group = g;
+            c.tier = static_cast<int>(t);
+            c.sensitivity = to_string(uw.sensitivity);
+            c.benefit = uw.benefit[t];
+            c.cost = uw.cost[t];
+            c.extra_cost = uw.extra_cost[t];
+            c.value = uw.weight(t);
+            c.bytes = items[i].size;
+            c.accepted = accepted;
+            c.reason = accepted                ? "selected"
+                       : uw.weight(t) <= 0.0   ? "non-positive-weight"
+                       : sol.assignment[i] >= 0 ? "other-tier"
+                                                : "capacity";
+            prov->push_back(std::move(c));
+          }
+        }
+      }
+      gain += sol.total_value;
+      state.apply_group(g, chosen, schedule);
+    }
+    if (gain_out != nullptr) *gain_out = gain;
+    return state.residents();
+  };
+
+  std::map<Unit, memsim::TierId> current;
+  for (const auto& [unit, dev] : in.current.entries()) {
+    if (dev != cap_tier) current[unit] = dev;
+  }
+  std::map<Unit, memsim::TierId> steady_start =
+      run_pass(current, nullptr, nullptr, nullptr);
+  // The body repeats every iteration, so it must return to its own start
+  // residency. With more than one constrained tier the per-group MCKP can
+  // take a few rounds to settle (a unit parked on tier 1 this round may be
+  // re-chosen for tier 2 next round); iterate toward the cyclic fixed
+  // point.
+  for (int i = 0; i < 4; ++i) {
+    std::map<Unit, memsim::TierId> next =
+        run_pass(steady_start, nullptr, nullptr, nullptr);
+    if (next == steady_start) break;
+    steady_start = std::move(next);
+  }
+
+  std::vector<task::ScheduledCopy> local_body;
+  double local_gain = 0.0;
+  std::vector<PlanCandidate> provenance;
+  const std::map<Unit, memsim::TierId> body_end =
+      run_pass(steady_start, &local_body, &local_gain, &provenance);
+
+  // No fixed point (the pass orbits a longer cycle): splice explicit
+  // restore copies into the last group — evictions first, then fills, so
+  // same-trigger schedule order keeps every tier within capacity — turning
+  // the body into an exact cycle over steady_start.
+  if (body_end != steady_start && num_groups > 0) {
+    const task::GroupId last = static_cast<task::GroupId>(num_groups - 1);
+    for (const auto& [u, t] : body_end) {
+      const auto it = steady_start.find(u);
+      if (it == steady_start.end() || it->second != t) {
+        local_body.push_back(task::ScheduledCopy{
+            u.first, u.second, in.unit_bytes(u.first, u.second), cap_tier,
+            last, last});
+      }
+    }
+    for (const auto& [u, t] : steady_start) {
+      const auto it = body_end.find(u);
+      if (it == body_end.end() || it->second != t) {
+        local_body.push_back(task::ScheduledCopy{
+            u.first, u.second, in.unit_bytes(u.first, u.second), t, last,
+            last});
+      }
+    }
+  }
+
+  std::vector<task::ScheduledCopy> local_schedule =
+      cyclic_preamble_multi(in, steady_start, local_body, cap_tier);
+  local_schedule.insert(local_schedule.end(), local_body.begin(),
+                        local_body.end());
+
+  // ---------------- cross-phase global search ----------------
+  // Aggregate each unit's per-tier benefit over all groups; one MCKP; no
+  // movement within the iteration.
+  std::map<UnitKey, std::vector<double>> total_benefit;
+  std::map<UnitKey, std::pair<double, Sensitivity>> dominant;
+  for (task::GroupId g = 0; g < num_groups; ++g) {
+    const MultiPlanState empty_state(in, capacities, cap_tier);
+    const std::vector<MultiUnitWeight> weights = multi_group_weights(
+        in, model, g, empty_state, cap_tier, options_.distinguish_rw);
+    for (const MultiUnitWeight& w : weights) {
+      auto& acc = total_benefit[w.unit];
+      if (acc.empty()) acc.assign(T, 0.0);
+      double best_b = 0.0;
+      for (std::size_t t = 0; t < T; ++t) {
+        acc[t] += w.benefit[t];
+        best_b = std::max(best_b, w.benefit[t]);
+      }
+      const auto [it, inserted] =
+          dominant.try_emplace(w.unit, best_b, w.sensitivity);
+      if (!inserted && best_b > it->second.first) {
+        it->second = {best_b, w.sensitivity};
+      }
+    }
+  }
+  std::vector<UnitKey> global_units;
+  std::vector<MultiTierItem> global_items;
+  for (const auto& [unit, benefits] : total_benefit) {
+    global_units.push_back(unit);
+    MultiTierItem item;
+    item.size = in.unit_bytes(unit.object, unit.chunk);
+    item.values = benefits;
+    global_items.push_back(std::move(item));
+  }
+  const MultiTierResult global_sol = solve_multi(global_items, capacities);
+  const double global_gain = global_sol.total_value;
+  for (std::size_t i = 0; i < global_units.size(); ++i) {
+    for (std::size_t t = 0; t < T; ++t) {
+      const bool accepted = global_sol.assignment[i] == static_cast<int>(t);
+      PlanCandidate c;
+      c.object_id = static_cast<std::uint64_t>(global_units[i].object);
+      c.chunk = global_units[i].chunk;
+      c.pass = "global";
+      c.tier = static_cast<int>(t);
+      c.sensitivity = to_string(dominant.at(global_units[i]).second);
+      c.benefit = global_items[i].values[t];
+      c.value = global_items[i].values[t];
+      c.bytes = global_items[i].size;
+      c.accepted = accepted;
+      c.reason = accepted                           ? "selected"
+                 : global_items[i].values[t] <= 0.0 ? "non-positive-weight"
+                 : global_sol.assignment[i] >= 0    ? "other-tier"
+                                                    : "capacity";
+      provenance.push_back(std::move(c));
+    }
+  }
+  for (const hms::ObjectId id : in.pinned_nvm) {
+    PlanCandidate c;
+    c.object_id = static_cast<std::uint64_t>(id);
+    c.pass = "pinned";
+    c.accepted = false;
+    c.reason = "pinned-nvm";
+    provenance.push_back(std::move(c));
+  }
+
+  std::map<Unit, memsim::TierId> global_target;
+  for (std::size_t i = 0; i < global_units.size(); ++i) {
+    if (global_sol.assignment[i] >= 0) {
+      global_target[Unit{global_units[i].object, global_units[i].chunk}] =
+          static_cast<memsim::TierId>(global_sol.assignment[i]);
+    }
+  }
+  std::vector<task::ScheduledCopy> global_schedule =
+      cyclic_preamble_multi(in, global_target, {}, cap_tier);
+
+  // ---------------- choose ----------------
+  PlanDecision decision;
+  bool use_global = global_gain >= local_gain;
+  if (options_.strategy == TahoeOptions::Strategy::GlobalOnly) {
+    use_global = true;
+  } else if (options_.strategy == TahoeOptions::Strategy::LocalOnly) {
+    use_global = false;
+  }
+  if (use_global) {
+    decision.schedule = std::move(global_schedule);
+    decision.strategy = "global";
+    decision.predicted_gain = global_gain;
+  } else {
+    decision.schedule = std::move(local_schedule);
+    decision.strategy = "local";
+    decision.predicted_gain = local_gain;
+  }
+  decision.provenance = std::move(provenance);
+  decision.local_gain = local_gain;
+  decision.global_gain = global_gain;
+  if (!options_.proactive) {
     for (task::ScheduledCopy& c : decision.schedule) {
       c.trigger_group = c.needed_group;
     }

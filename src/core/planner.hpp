@@ -51,6 +51,13 @@ class TahoePolicy : public Policy {
   PlanDecision decide(const PlanInputs& in) override;
 
  private:
+  /// N-tier planning path (machines with more than two tiers): per-group
+  /// and cross-phase multi-choice knapsacks over every constrained tier.
+  /// The two-tier path in decide() is kept separate and untouched so its
+  /// numeric behavior (and the byte-stable reports built on it) cannot
+  /// drift.
+  PlanDecision decide_multi(const PlanInputs& in);
+
   ModelConstants constants_;
   TahoeOptions options_;
 };

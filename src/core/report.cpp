@@ -24,12 +24,18 @@ void RunReport::write_json(
     const std::vector<std::pair<std::string, std::uint64_t>>& gauges,
     const std::vector<std::pair<std::string, trace::HistogramSnapshot>>&
         histograms) const {
+  const bool v3 = multi_tier();
   trace::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema_version", std::uint64_t{2});
+  w.kv("schema_version", std::uint64_t{v3 ? 3u : 2u});
   w.kv("workload", workload);
   w.kv("policy", policy);
   w.kv("strategy", strategy);
+  if (v3) {
+    w.key("tiers").begin_array();
+    for (const std::string& t : tier_names) w.value(t);
+    w.end_array();
+  }
   w.kv("compute_seconds", compute_seconds);
   w.kv("overhead_seconds", overhead_seconds);
   w.kv("decision_seconds", decision_seconds);
@@ -77,10 +83,23 @@ void RunReport::write_json(
     w.kv("task_type", r.task_type);
     w.kv("object", r.object);
     w.kv("tasks", r.tasks);
-    w.kv("dram_loads", r.dram_loads);
-    w.kv("dram_stores", r.dram_stores);
-    w.kv("nvm_loads", r.nvm_loads);
-    w.kv("nvm_stores", r.nvm_stores);
+    if (v3) {
+      w.key("tier_loads").begin_array();
+      for (std::size_t t = 0; t < tier_names.size(); ++t) {
+        w.value(t < r.tier_loads.size() ? r.tier_loads[t] : 0);
+      }
+      w.end_array();
+      w.key("tier_stores").begin_array();
+      for (std::size_t t = 0; t < tier_names.size(); ++t) {
+        w.value(t < r.tier_stores.size() ? r.tier_stores[t] : 0);
+      }
+      w.end_array();
+    } else {
+      w.kv("dram_loads", r.dram_loads);
+      w.kv("dram_stores", r.dram_stores);
+      w.kv("nvm_loads", r.nvm_loads);
+      w.kv("nvm_stores", r.nvm_stores);
+    }
     w.kv("sampled_loads", r.sampled_loads);
     w.kv("sampled_stores", r.sampled_stores);
     w.kv("est_loads", r.est_loads);
@@ -97,6 +116,20 @@ void RunReport::write_json(
     w.kv("bytes_promoted", r.bytes_promoted);
     w.kv("bytes_evicted", r.bytes_evicted);
     w.kv("copies_hidden", r.copies_hidden);
+    if (v3) {
+      w.key("flows").begin_array();
+      for (const TierFlowRow& f : r.flows) {
+        w.begin_object();
+        w.kv("src", std::uint64_t{f.src});
+        w.kv("dst", std::uint64_t{f.dst});
+        w.kv("src_tier", f.src < tier_names.size() ? tier_names[f.src] : "");
+        w.kv("dst_tier", f.dst < tier_names.size() ? tier_names[f.dst] : "");
+        w.kv("copies", f.copies);
+        w.kv("bytes", f.bytes);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();
@@ -104,12 +137,18 @@ void RunReport::write_json(
 }
 
 void RunReport::write_explain_json(std::ostream& os) const {
+  const bool v3 = multi_tier();
   trace::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema_version", std::uint64_t{2});
+  w.kv("schema_version", std::uint64_t{v3 ? 3u : 2u});
   w.kv("workload", workload);
   w.kv("policy", policy);
   w.kv("strategy", strategy);
+  if (v3) {
+    w.key("tiers").begin_array();
+    for (const std::string& t : tier_names) w.value(t);
+    w.end_array();
+  }
   w.key("plans").begin_array();
   for (const PlanRecord& p : plans) {
     w.begin_object();
@@ -132,6 +171,7 @@ void RunReport::write_explain_json(std::ostream& os) const {
       w.kv("chunk", static_cast<std::uint64_t>(c.chunk));
       w.kv("pass", c.pass);
       w.kv("group", static_cast<std::uint64_t>(c.group));
+      if (c.tier >= 0) w.kv("tier", static_cast<std::uint64_t>(c.tier));
       w.kv("sensitivity", c.sensitivity);
       w.kv("benefit", c.benefit);
       w.kv("cost", c.cost);

@@ -21,6 +21,10 @@ struct PlanCandidate {
   std::size_t chunk = 0;
   std::string pass;          ///< "local" / "global" / "pinned"
   std::size_t group = 0;     ///< phase index (local pass only)
+  /// Candidate destination tier on N-tier machines; -1 on two-tier
+  /// machines (where "promote to DRAM" is the only choice). Serialized
+  /// only when >= 0, keeping two-tier explain exports byte-stable.
+  int tier = -1;
   std::string sensitivity;   ///< "bandwidth" / "latency" / "mixed" / ""
   double benefit = 0.0;      ///< BFT (modeled seconds saved)
   double cost = 0.0;         ///< COST (exposed movement seconds)
@@ -52,30 +56,54 @@ struct AttributionRow {
   std::string task_type;  ///< group name (the task-type granularity)
   std::string object;
   std::uint64_t tasks = 0;
-  std::uint64_t dram_loads = 0;   ///< simulated accesses served by DRAM
+  std::uint64_t dram_loads = 0;   ///< simulated accesses served by tier 0
   std::uint64_t dram_stores = 0;
-  std::uint64_t nvm_loads = 0;
+  std::uint64_t nvm_loads = 0;    ///< simulated accesses served by tier 1
   std::uint64_t nvm_stores = 0;
   std::uint64_t sampled_loads = 0;  ///< raw profiler samples
   std::uint64_t sampled_stores = 0;
   std::uint64_t est_loads = 0;  ///< sampled x interval correction
   std::uint64_t est_stores = 0;
+  /// Per-tier served accesses, indexed by TierId; filled (and serialized,
+  /// schema v3) only on machines with more than two tiers. Two-tier runs
+  /// use the dram_/nvm_ fields above (schema v2).
+  std::vector<std::uint64_t> tier_loads;
+  std::vector<std::uint64_t> tier_stores;
+};
+
+/// One (source tier, destination tier) migration flow of an object.
+struct TierFlowRow {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t bytes = 0;
 };
 
 /// Per-object migration attribution over the run.
 struct ObjectMigrationRow {
   std::string object;
-  std::uint64_t promotions = 0;  ///< copies into DRAM that moved bytes
-  std::uint64_t evictions = 0;   ///< copies out to NVM that moved bytes
+  std::uint64_t promotions = 0;  ///< copies to a faster tier that moved bytes
+  std::uint64_t evictions = 0;   ///< copies to a slower tier that moved bytes
   std::uint64_t bytes_promoted = 0;
   std::uint64_t bytes_evicted = 0;
   std::uint64_t copies_hidden = 0;  ///< completed outside any group stall
+  /// Per-(src, dst) tier-pair flows, sorted by (src, dst); filled (and
+  /// serialized, schema v3) only on machines with more than two tiers.
+  std::vector<TierFlowRow> flows;
 };
 
 struct RunReport {
   std::string workload;
   std::string policy;
   std::string strategy;  ///< "global" / "local" / policy-specific / ""
+
+  /// Device names of the machine's tiers, fastest first. Reports covering
+  /// more than two tiers serialize with schema_version 3 (per-tier
+  /// attribution and tier-pair migration flows); two-tier (or unset)
+  /// reports keep the byte-stable schema_version 2 layout.
+  std::vector<std::string> tier_names;
+
+  bool multi_tier() const noexcept { return tier_names.size() > 2; }
 
   std::vector<double> iteration_seconds;  ///< simulated makespan per iter
   double compute_seconds = 0.0;           ///< sum of iteration makespans
@@ -141,9 +169,11 @@ struct RunReport {
   /// Parseable by trace::parse_json. Optional sub-objects: "counters"
   /// (monotonic totals), "gauges" (point-in-time levels — keep these out
   /// of byte-compared exports, they are nondeterministic), "histograms"
-  /// (count/percentile digests). The "schema_version" field (currently 2)
-  /// leads the object; attribution rows are emitted under "attribution"
-  /// and "objects".
+  /// (count/percentile digests). The "schema_version" field leads the
+  /// object: 2 for two-tier reports (byte-stable legacy layout), 3 when
+  /// the report covers more than two tiers ("tiers" list, per-tier
+  /// attribution, tier-pair migration flows). Attribution rows are
+  /// emitted under "attribution" and "objects".
   void write_json(
       std::ostream& os,
       const std::vector<std::pair<std::string, std::uint64_t>>& counters = {},

@@ -34,18 +34,26 @@ void name_standard_tracks(std::uint32_t workers) {
   tracer.set_track_name(trace::kRuntimeTrack, "runtime phases");
 }
 
-/// Replay the planned schedule against a hypothetical DRAM occupancy and
-/// return the first object whose fill cannot reserve space even after
-/// `retries` extra attempts (injected vetoes model racing consumers of the
-/// tier). Returns kInvalidObject when the whole schedule reserves cleanly.
+/// Replay the planned schedule against a hypothetical occupancy of every
+/// constrained tier and return the first object whose fill cannot reserve
+/// space even after `retries` extra attempts (injected vetoes model racing
+/// consumers of the tier). Returns kInvalidObject when the whole schedule
+/// reserves cleanly. On two-tier machines this makes exactly the same
+/// try_reserve calls in the same order as the original single-tier replay,
+/// so seeded fault-injection sequences are preserved.
 hms::ObjectId first_unreservable(
     const PlanInputs& in, const std::vector<task::ScheduledCopy>& schedule,
-    std::uint64_t dram_capacity, int retries) {
-  hms::SpaceManager space(dram_capacity);
+    const memsim::Machine& machine, int retries) {
+  const memsim::TierId cap_tier = machine.capacity_tier();
+  std::vector<hms::SpaceManager> spaces;
+  spaces.reserve(cap_tier);
+  for (memsim::TierId t = 0; t < cap_tier; ++t) {
+    spaces.emplace_back(machine.tier(t).capacity);
+  }
   for (const auto& [unit, dev] : in.current.entries()) {
-    if (dev == memsim::kDram) {
-      (void)space.add(unit.first, unit.second,
-                      in.unit_bytes(unit.first, unit.second));
+    if (dev != cap_tier) {
+      (void)spaces[dev].add(unit.first, unit.second,
+                            in.unit_bytes(unit.first, unit.second));
     }
   }
   // Walk in trigger order (stable, so same-group evictions precede fills
@@ -59,14 +67,19 @@ hms::ObjectId first_unreservable(
                    });
   for (const std::size_t i : order) {
     const task::ScheduledCopy& c = schedule[i];
-    if (c.dst != memsim::kDram) {
-      space.remove(c.object, c.chunk);
+    if (c.dst == cap_tier) {
+      for (hms::SpaceManager& s : spaces) s.remove(c.object, c.chunk);
       continue;
     }
-    if (space.resident(c.object, c.chunk)) continue;
+    if (spaces[c.dst].resident(c.object, c.chunk)) continue;
+    // A fill onto one constrained tier vacates any other constrained tier
+    // the unit occupied (moves between constrained tiers free the source).
+    for (memsim::TierId t = 0; t < cap_tier; ++t) {
+      if (t != c.dst) spaces[t].remove(c.object, c.chunk);
+    }
     bool reserved = false;
     for (int attempt = 0; attempt <= retries && !reserved; ++attempt) {
-      reserved = space.try_reserve(c.object, c.chunk, c.bytes);
+      reserved = spaces[c.dst].try_reserve(c.object, c.chunk, c.bytes);
     }
     if (!reserved) return c.object;
   }
@@ -115,16 +128,17 @@ PlanDecision Runtime::decide_validated(Policy& policy, PlanInputs inputs,
     }
     record_plan(decision, round);
     const hms::ObjectId offender =
-        first_unreservable(inputs, decision.schedule,
-                           config_.machine.dram().capacity,
+        first_unreservable(inputs, decision.schedule, config_.machine,
                            config_.reservation_retries);
     if (offender == hms::kInvalidObject) return decision;
     if (round + 1 >= kMaxRounds) {
       // Last resort: keep the plan but strip the offender's fills so the
       // schedule stays capacity-safe.
-      std::erase_if(decision.schedule, [offender](const task::ScheduledCopy& c) {
-        return c.object == offender && c.dst == memsim::kDram;
-      });
+      const memsim::TierId cap_tier = config_.machine.capacity_tier();
+      std::erase_if(decision.schedule,
+                    [offender, cap_tier](const task::ScheduledCopy& c) {
+                      return c.object == offender && c.dst != cap_tier;
+                    });
       TAHOE_WARN("plan validation gave up after " << kMaxRounds
                                                   << " rounds; dropping DRAM "
                                                      "fills of object "
@@ -158,7 +172,8 @@ std::vector<ObjectInfo> collect_objects(const hms::ObjectRegistry& registry) {
 
 std::vector<task::TierHint> compute_tier_hints(
     const task::TaskGraph& graph, const hms::ObjectRegistry& registry,
-    const std::vector<task::ScheduledCopy>& schedule) {
+    const std::vector<task::ScheduledCopy>& schedule,
+    memsim::TierId hot_tiers) {
   // Start from the registry's current placement...
   std::map<hms::ObjectId, std::vector<memsim::DeviceId>> device;
   for (const hms::ObjectId id : registry.live_objects()) {
@@ -190,9 +205,9 @@ std::vector<task::TierHint> compute_tier_hints(
         if (it == device.end()) continue;  // unknown object: assume hot
         const std::vector<memsim::DeviceId>& d = it->second;
         if (a.chunk == task::kAllChunks) {
-          for (const memsim::DeviceId dev : d) nvm_bound |= dev != memsim::kDram;
+          for (const memsim::DeviceId dev : d) nvm_bound |= dev >= hot_tiers;
         } else if (a.chunk < d.size()) {
-          nvm_bound |= d[a.chunk] != memsim::kDram;
+          nvm_bound |= d[a.chunk] >= hot_tiers;
         }
         if (nvm_bound) break;
       }
@@ -224,14 +239,15 @@ Runtime::AppState Runtime::prepare(Application& app, bool huge_tiers) {
   AppState state;
   state.registry = std::make_unique<hms::ObjectRegistry>(caps, config_.backing);
   hms::ChunkingPolicy chunking;
-  chunking.dram_capacity = config_.chunking ? m.dram().capacity : 0;
+  chunking.dram_capacity =
+      config_.chunking ? m.tier(m.fastest_tier()).capacity : 0;
   app.setup(*state.registry, chunking);
   TAHOE_REQUIRE(state.registry->num_objects() > 0,
                 "application allocated no data objects");
   state.objects = collect_objects(*state.registry);
   for (const ObjectInfo& o : state.objects) {
     for (std::size_t c = 0; c < o.chunk_bytes.size(); ++c) {
-      state.placement.set(o.id, c, memsim::kNvm);
+      state.placement.set(o.id, c, m.capacity_tier());
     }
   }
   return state;
@@ -245,6 +261,11 @@ RunReport Runtime::run(Application& app, Policy& policy) {
   RunReport report;
   report.workload = app.name();
   report.policy = policy.name();
+  report.tier_names.reserve(machine.devices.size());
+  for (const memsim::DeviceModel& d : machine.devices) {
+    report.tier_names.push_back(d.name);
+  }
+  const bool multi = machine.num_tiers() > 2;
 
   // Objects demoted by the degradation path; persists across re-profiles
   // so a repeatedly failing object is not retried forever.
@@ -252,9 +273,15 @@ RunReport Runtime::run(Application& app, Policy& policy) {
 
   // Initial placement: free at allocation time.
   if (config_.initial_placement) {
-    for (const UnitKey& u :
-         choose_initial_dram(state.objects, machine.dram().capacity)) {
-      state.placement.set(u.object, u.chunk, memsim::kDram);
+    if (multi) {
+      for (const auto& [u, t] : choose_initial_tiers(state.objects, machine)) {
+        state.placement.set(u.object, u.chunk, t);
+      }
+    } else {
+      for (const UnitKey& u : choose_initial_dram(
+               state.objects, machine.tier(machine.fastest_tier()).capacity)) {
+        state.placement.set(u.object, u.chunk, memsim::kDram);
+      }
     }
   }
 
@@ -362,7 +389,14 @@ RunReport Runtime::run(Application& app, Policy& policy) {
                                       : std::to_string(t.group);
         AttributionRow& row = attr_rows[{gname, resolve_object(t.object)}];
         row.tasks += t.tasks;
-        if (t.device == memsim::kDram) {
+        if (multi) {
+          if (row.tier_loads.size() < machine.devices.size()) {
+            row.tier_loads.resize(machine.devices.size(), 0);
+            row.tier_stores.resize(machine.devices.size(), 0);
+          }
+          row.tier_loads[t.device] += t.loads;
+          row.tier_stores[t.device] += t.stores;
+        } else if (t.device == memsim::kDram) {
           row.dram_loads += t.loads;
           row.dram_stores += t.stores;
         } else {
@@ -372,7 +406,7 @@ RunReport Runtime::run(Application& app, Policy& policy) {
       }
       for (const task::CopyTally& t : sim.copy_tallies) {
         ObjectMigrationRow& row = obj_rows[resolve_object(t.object)];
-        if (t.dst == memsim::kDram) {
+        if (t.dst < t.src) {  // toward a faster tier
           row.promotions += t.copies;
           row.bytes_promoted += t.bytes;
         } else {
@@ -380,6 +414,23 @@ RunReport Runtime::run(Application& app, Policy& policy) {
           row.bytes_evicted += t.bytes;
         }
         row.copies_hidden += t.hidden;
+        if (multi) {
+          TierFlowRow* flow = nullptr;
+          for (TierFlowRow& f : row.flows) {
+            if (f.src == t.src && f.dst == t.dst) {
+              flow = &f;
+              break;
+            }
+          }
+          if (flow == nullptr) {
+            row.flows.push_back(
+                TierFlowRow{static_cast<std::uint32_t>(t.src),
+                            static_cast<std::uint32_t>(t.dst), 0, 0});
+            flow = &row.flows.back();
+          }
+          flow->copies += t.copies;
+          flow->bytes += t.bytes;
+        }
       }
     }
 
@@ -491,6 +542,10 @@ RunReport Runtime::run(Application& app, Policy& policy) {
     report.objects.reserve(obj_rows.size());
     for (auto& [name, row] : obj_rows) {
       row.object = name;
+      std::sort(row.flows.begin(), row.flows.end(),
+                [](const TierFlowRow& a, const TierFlowRow& b) {
+                  return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                });
       report.objects.push_back(std::move(row));
     }
   }
@@ -516,7 +571,15 @@ RunReport Runtime::run_static(Application& app, memsim::DeviceId tier) {
 
   RunReport report;
   report.workload = app.name();
-  report.policy = tier == memsim::kDram ? "dram-only" : "nvm-only";
+  if (machine.num_tiers() == 2) {
+    report.policy = tier == memsim::kDram ? "dram-only" : "nvm-only";
+  } else {
+    report.policy = "tier" + std::to_string(tier) + "-only";
+  }
+  report.tier_names.reserve(machine.devices.size());
+  for (const memsim::DeviceModel& d : machine.devices) {
+    report.tier_names.push_back(d.name);
+  }
 
   task::SimExecutor executor;
   task::SimExecutor::Options opts;
@@ -545,22 +608,28 @@ RunReport Runtime::run_static(Application& app, memsim::DeviceId tier) {
 RunReport Runtime::run_pinned(Application& app,
                               const std::vector<std::string>& dram_objects) {
   AppState state = prepare(app, /*huge_tiers=*/true);
+  const memsim::TierId fast = config_.machine.fastest_tier();
+  const memsim::TierId cap = config_.machine.capacity_tier();
   std::uint64_t pinned_bytes = 0;
   for (const ObjectInfo& o : state.objects) {
     const bool in_dram = std::find(dram_objects.begin(), dram_objects.end(),
                                    o.name) != dram_objects.end();
     for (std::size_t c = 0; c < o.chunk_bytes.size(); ++c) {
-      state.placement.set(o.id, c, in_dram ? memsim::kDram : memsim::kNvm);
+      state.placement.set(o.id, c, in_dram ? fast : cap);
     }
     if (in_dram) pinned_bytes += o.total_bytes();
   }
   memsim::Machine machine = config_.machine;
-  machine.devices[memsim::kDram].capacity =
-      std::max(machine.dram().capacity, pinned_bytes);
+  machine.devices[fast].capacity =
+      std::max(machine.tier(fast).capacity, pinned_bytes);
 
   RunReport report;
   report.workload = app.name();
   report.policy = "pinned";
+  report.tier_names.reserve(machine.devices.size());
+  for (const memsim::DeviceModel& d : machine.devices) {
+    report.tier_names.push_back(d.name);
+  }
 
   task::SimExecutor executor;
   task::SimExecutor::Options opts;
@@ -648,6 +717,10 @@ RunReport Runtime::run_real_report(
   RunReport report;
   report.workload = app.name();
   report.policy = "real";
+  report.tier_names.reserve(config_.machine.devices.size());
+  for (const memsim::DeviceModel& d : config_.machine.devices) {
+    report.tier_names.push_back(d.name);
+  }
   report.verified = app.verify(*state.registry);
   const hms::MigrationStats& ms = state.registry->stats();
   report.migrations = ms.migrations;

@@ -136,9 +136,12 @@ std::vector<ObjectInfo> collect_objects(const hms::ObjectRegistry& registry);
 /// ScheduledCopy whose needed_group is not after the task's group) and
 /// `kCold` otherwise, so the executor defers NVM-bound tasks while their
 /// objects' promotions are still in flight. Accesses to objects unknown to
-/// the registry are treated as hot.
+/// the registry are treated as hot. On N-tier machines, `hot_tiers` sets
+/// how many of the fastest tiers count as "hot" (the default 1 reproduces
+/// the DRAM/NVM split).
 std::vector<task::TierHint> compute_tier_hints(
     const task::TaskGraph& graph, const hms::ObjectRegistry& registry,
-    const std::vector<task::ScheduledCopy>& schedule);
+    const std::vector<task::ScheduledCopy>& schedule,
+    memsim::TierId hot_tiers = 1);
 
 }  // namespace tahoe::core

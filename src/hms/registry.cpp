@@ -130,15 +130,31 @@ void ObjectRegistry::register_alias(ObjectId id, void** slot) {
   *slot = obj.chunks.front().ptr.load(std::memory_order_acquire);
 }
 
+void ObjectRegistry::set_fallback_order(std::vector<memsim::TierId> order) {
+  for (const memsim::TierId t : order) {
+    TAHOE_REQUIRE(t < arenas_.size(), "fallback tier out of range");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fallback_order_ = std::move(order);
+}
+
 void* ObjectRegistry::alloc_with_fallback(std::uint64_t bytes,
                                           memsim::DeviceId initial,
                                           memsim::DeviceId& chosen) {
-  // Tier order: requested tier first, then the others in device order
-  // (DRAM-requested objects degrade to NVM, mirroring the runtime's
-  // fallback-to-slow-tier policy; never silently "upgrade" capacity).
+  // Tier order: requested tier first, then the fallback chain. By default
+  // the chain is every other tier in device order (DRAM-requested objects
+  // degrade toward the capacity tier, mirroring the runtime's
+  // fallback-to-slow-tier policy; never silently "upgrade" capacity). A
+  // configured chain restricts and reorders the tiers tried.
   std::vector<memsim::DeviceId> order{initial};
-  for (memsim::DeviceId d = 0; d < arenas_.size(); ++d) {
-    if (d != initial) order.push_back(d);
+  if (fallback_order_.empty()) {
+    for (memsim::DeviceId d = 0; d < arenas_.size(); ++d) {
+      if (d != initial) order.push_back(d);
+    }
+  } else {
+    for (const memsim::TierId t : fallback_order_) {
+      if (t != initial) order.push_back(t);
+    }
   }
   fault::FaultInjector& inj = fault::global();
   for (const memsim::DeviceId dev : order) {
@@ -213,6 +229,10 @@ MigrateResult ObjectRegistry::try_migrate_chunk(ObjectId id, std::size_t chunk,
   stats_.bytes_moved += c.bytes;
   if (dst == memsim::kDram) ++stats_.to_dram;
   if (dst == memsim::kNvm) ++stats_.to_nvm;
+  if (stats_.to_tier.size() < arenas_.size()) {
+    stats_.to_tier.resize(arenas_.size(), 0);
+  }
+  ++stats_.to_tier[dst];
   return MigrateResult::kMoved;
 }
 

@@ -24,11 +24,15 @@ namespace tahoe::hms {
 struct MigrationStats {
   std::uint64_t migrations = 0;        ///< chunk moves performed
   std::uint64_t bytes_moved = 0;       ///< total bytes copied
-  std::uint64_t to_dram = 0;           ///< moves NVM -> DRAM
-  std::uint64_t to_nvm = 0;            ///< moves DRAM -> NVM
+  std::uint64_t to_dram = 0;           ///< moves into tier 0 (the fastest)
+  std::uint64_t to_nvm = 0;            ///< moves into tier 1
   std::uint64_t failed_no_space = 0;   ///< refused: destination arena full
   std::uint64_t copy_aborts = 0;       ///< copies aborted mid-flight
   std::uint64_t alloc_fallbacks = 0;   ///< creates that fell back to another tier
+  /// Moves into each destination tier, indexed by TierId (sized on first
+  /// use; to_tier[kDram] == to_dram and to_tier[kNvm] == to_nvm on
+  /// two-tier machines).
+  std::vector<std::uint64_t> to_tier;
 };
 
 /// Outcome of a single chunk-migration attempt. Aborts are transient
@@ -89,6 +93,20 @@ class ObjectRegistry {
   const Arena& arena(memsim::DeviceId dev) const;
   std::size_t num_tiers() const noexcept { return arenas_.size(); }
 
+  /// Last (largest, slowest) tier of the hierarchy — the default home of
+  /// every object. Mirrors memsim::Machine::capacity_tier().
+  memsim::TierId capacity_tier() const noexcept {
+    return static_cast<memsim::TierId>(arenas_.empty() ? 0
+                                                       : arenas_.size() - 1);
+  }
+
+  /// Configure the chain of tiers tried when an allocation's requested
+  /// tier is full (default: every other tier in device order). The chain
+  /// lists tiers to try *after* the requested one; entries equal to the
+  /// requested tier are skipped, tiers missing from the chain are never
+  /// tried. Pass an empty chain to restore the default.
+  void set_fallback_order(std::vector<memsim::TierId> order);
+
   const MigrationStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = MigrationStats{}; }
 
@@ -105,6 +123,7 @@ class ObjectRegistry {
 
   Backing backing_;
   std::vector<std::unique_ptr<Arena>> arenas_;
+  std::vector<memsim::TierId> fallback_order_;  ///< empty = device order
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<DataObject>> objects_;  // index = ObjectId
   MigrationStats stats_;

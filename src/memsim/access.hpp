@@ -7,10 +7,14 @@
 
 namespace tahoe::memsim {
 
-/// Identifies one memory tier of the heterogeneous system.
-/// The library supports an arbitrary number of tiers, but the canonical
-/// configuration is two: kDram (fast, small) and kNvm (slow, large).
+/// Identifies one memory tier of the heterogeneous system. Tiers are
+/// ordered fastest-first: tier 0 is the fastest (smallest) device and the
+/// last tier is the capacity tier every object can fall back to. The
+/// library supports an arbitrary number of tiers; the canonical two-tier
+/// configuration names them kDram (fast, small) and kNvm (slow, large).
 using DeviceId = std::uint32_t;
+/// Alias emphasizing the ordered-hierarchy reading of a device index.
+using TierId = DeviceId;
 inline constexpr DeviceId kDram = 0;
 inline constexpr DeviceId kNvm = 1;
 

@@ -64,6 +64,16 @@ DeviceModel optane_pm(std::uint64_t capacity) {
                      capacity};
 }
 
+DeviceModel hbm(std::uint64_t capacity) {
+  return DeviceModel{"HBM", ns(110), ns(110), mbps(30'000), mbps(27'000),
+                     capacity};
+}
+
+DeviceModel cxl_dram(std::uint64_t capacity) {
+  return DeviceModel{"CXL-DRAM", ns(180), ns(180), mbps(8'000), mbps(7'200),
+                     capacity};
+}
+
 DeviceModel nvm_bw_fraction(const DeviceModel& dram_model, double fraction,
                             std::uint64_t capacity) {
   TAHOE_REQUIRE(fraction > 0.0 && fraction <= 1.0,
@@ -89,7 +99,8 @@ DeviceModel nvm_lat_multiple(const DeviceModel& dram_model, double multiple,
 
 std::vector<DeviceModel> all_presets() {
   const std::uint64_t cap = 16 * kGiB;
-  return {dram(cap), stt_ram(cap), pcram(cap), reram(cap), optane_pm(cap)};
+  return {dram(cap),  stt_ram(cap), pcram(cap),   reram(cap),
+          optane_pm(cap), hbm(cap), cxl_dram(cap)};
 }
 
 }  // namespace devices

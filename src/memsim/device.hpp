@@ -49,6 +49,15 @@ DeviceModel pcram(std::uint64_t capacity);
 DeviceModel reram(std::uint64_t capacity);
 DeviceModel optane_pm(std::uint64_t capacity);
 
+/// On-package high-bandwidth memory (HBM2-class): ~3x DRAM bandwidth at
+/// slightly higher load-to-use latency, small capacity.
+DeviceModel hbm(std::uint64_t capacity);
+
+/// CXL-attached DRAM expander: DRAM-class bandwidth over a link that adds
+/// ~100ns of round-trip latency and caps sustained throughput below local
+/// DRAM.
+DeviceModel cxl_dram(std::uint64_t capacity);
+
 /// NVM emulated as DRAM with bandwidth scaled by `fraction` (e.g. 0.5 for
 /// the "1/2 DRAM BW" configuration). Latency equals DRAM latency.
 DeviceModel nvm_bw_fraction(const DeviceModel& dram_model, double fraction,

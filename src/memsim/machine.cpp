@@ -35,6 +35,13 @@ FlowSpec Machine::task_flow(
   return spec;
 }
 
+double Machine::copy_bw_for(TierId src, TierId dst) const noexcept {
+  for (const CopyPathLimit& p : copy_paths) {
+    if (p.src == src && p.dst == dst) return p.bw;
+  }
+  return copy_engine_bw;
+}
+
 FlowSpec Machine::copy_flow(std::uint64_t bytes, DeviceId src, DeviceId dst,
                             std::uint64_t tag) const {
   TAHOE_REQUIRE(src < devices.size() && dst < devices.size(),
@@ -46,7 +53,8 @@ FlowSpec Machine::copy_flow(std::uint64_t bytes, DeviceId src, DeviceId dst,
   spec.device_seconds.assign(devices.size(), 0.0);
   spec.device_seconds[src] = b / devices[src].read_bw;
   spec.device_seconds[dst] = b / devices[dst].write_bw;
-  spec.serial_seconds = copy_engine_bw > 0.0 ? b / copy_engine_bw : 0.0;
+  const double copy_bw = copy_bw_for(src, dst);
+  spec.serial_seconds = copy_bw > 0.0 ? b / copy_bw : 0.0;
   return spec;
 }
 
@@ -86,6 +94,27 @@ Machine optane_platform(std::uint64_t dram_capacity) {
   m.devices = {devices::dram(dram_capacity),
                devices::optane_pm(1536 * kGiB)};
   m.copy_engine_bw = gbps(6.0);
+  return m;
+}
+
+Machine cxl_platform(std::uint64_t hbm_capacity, std::uint64_t dram_capacity,
+                     std::uint64_t cxl_capacity, std::uint64_t nvm_capacity) {
+  if (nvm_capacity == 0) nvm_capacity = 1536 * kGiB;
+  Machine m;
+  m.name = "cxl-platform";
+  m.cpu_hz = 2.4e9;
+  m.workers = 32;
+  m.mlp = 64.0;
+  m.llc = CacheModel{32 * kMiB};
+  m.devices = {devices::hbm(hbm_capacity), devices::dram(dram_capacity),
+               devices::cxl_dram(cxl_capacity),
+               devices::optane_pm(nvm_capacity)};
+  m.copy_engine_bw = gbps(6.0);
+  // The on-package HBM<->DRAM path has a dedicated DMA engine; copies that
+  // cross the CXL link are throttled below the core-staged memcpy rate.
+  m.copy_paths = {{0, 1, gbps(12.0)}, {1, 0, gbps(12.0)},
+                  {1, 2, gbps(4.0)},  {2, 1, gbps(4.0)},
+                  {0, 2, gbps(4.0)},  {2, 0, gbps(4.0)}};
   return m;
 }
 

@@ -19,19 +19,52 @@
 
 namespace tahoe::memsim {
 
+/// Copy-engine ceiling for one specific ordered tier pair, overriding the
+/// machine-wide `copy_engine_bw` (e.g. an on-package DMA engine between
+/// HBM and DRAM that streams faster than the core-staged memcpy to NVM).
+struct CopyPathLimit {
+  TierId src = 0;
+  TierId dst = 0;
+  double bw = 0.0;  ///< bytes/s serial floor for one copy stream
+};
+
 struct Machine {
   std::string name;
   double cpu_hz = 2.4e9;
   std::uint32_t workers = 16;       ///< task-executor worker threads
   double mlp = 10.0;                ///< outstanding-miss parallelism per core
   CacheModel llc{};                 ///< shared last-level cache
-  std::vector<DeviceModel> devices; ///< index kDram / kNvm
+  /// Ordered memory hierarchy, fastest tier first. Index is the TierId;
+  /// the last tier is the capacity tier (the default home of every
+  /// object). The canonical two-tier machines index it as kDram / kNvm.
+  std::vector<DeviceModel> devices;
   double copy_engine_bw = 0.0;      ///< bytes/s ceiling for one copy stream
+  /// Per-(src, dst) copy-engine overrides; empty means every pair uses
+  /// `copy_engine_bw`.
+  std::vector<CopyPathLimit> copy_paths;
   std::uint64_t sample_interval = 1000;
   std::uint64_t seed = 0x7a40e5c0ffee1234ULL;
 
-  const DeviceModel& dram() const { return devices.at(kDram); }
-  const DeviceModel& nvm() const { return devices.at(kNvm); }
+  std::size_t num_tiers() const noexcept { return devices.size(); }
+
+  /// Tier accessor — the N-tier replacement for dram()/nvm().
+  const DeviceModel& tier(TierId t) const { return devices.at(t); }
+
+  /// Fastest (tier 0) and capacity (last) tiers of the hierarchy.
+  TierId fastest_tier() const noexcept { return 0; }
+  TierId capacity_tier() const noexcept {
+    return static_cast<TierId>(devices.empty() ? 0 : devices.size() - 1);
+  }
+
+  /// Deprecated: two-tier convenience accessors. Prefer tier(TierId) (or
+  /// tier(fastest_tier()) / tier(capacity_tier())) — these only make sense
+  /// on two-tier machines and will be removed once nothing names them.
+  const DeviceModel& dram() const { return tier(kDram); }
+  const DeviceModel& nvm() const { return tier(kNvm); }
+
+  /// Copy-engine ceiling for a (src, dst) copy: the per-pair override when
+  /// one is registered, else the machine-wide copy_engine_bw.
+  double copy_bw_for(TierId src, TierId dst) const noexcept;
 
   /// Main-memory traffic of one object access after the LLC filter.
   MemTraffic filtered(const ObjectTraffic& t,
@@ -67,6 +100,15 @@ Machine platform_a(DeviceModel nvm, std::uint64_t dram_capacity);
 /// Optane-PMM style two-socket box: 48 workers, 35.75 MiB LLC (per socket
 /// model collapsed to one), DRAM limited to `dram_capacity`, Optane PM NVM.
 Machine optane_platform(std::uint64_t dram_capacity);
+
+/// Four-tier heterogeneous node: HBM + DRAM + CXL-attached DRAM + Optane
+/// NVM, ordered fastest-first. `hbm_capacity`/`dram_capacity`/
+/// `cxl_capacity` bound the three constrained tiers; the NVM capacity
+/// tier holds everything. On-package HBM<->DRAM copies get a faster
+/// per-pair copy engine than the core-staged paths to CXL/NVM.
+Machine cxl_platform(std::uint64_t hbm_capacity, std::uint64_t dram_capacity,
+                     std::uint64_t cxl_capacity,
+                     std::uint64_t nvm_capacity = 0);
 
 }  // namespace machines
 }  // namespace tahoe::memsim

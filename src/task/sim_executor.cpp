@@ -70,7 +70,9 @@ SimReport SimExecutor::run(const TaskGraph& graph,
   // Attribution tables (std::map keeps the dump order deterministic).
   std::map<std::tuple<GroupId, hms::ObjectId, memsim::DeviceId>, AccessTally>
       acc_tally;
-  std::map<std::pair<hms::ObjectId, memsim::DeviceId>, CopyTally> cp_tally;
+  std::map<std::tuple<hms::ObjectId, memsim::DeviceId, memsim::DeviceId>,
+           CopyTally>
+      cp_tally;
 
   // DRAM-occupancy counter track: needs the unit-size oracle to price the
   // initial residency; updated at every completed copy.
@@ -153,8 +155,9 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       copy_seconds.record_seconds(duration);
     }
     if (options.attribution) {
-      CopyTally& tally = cp_tally[{c.object, c.dst}];
+      CopyTally& tally = cp_tally[{c.object, copy_state[idx].src, c.dst}];
       tally.object = c.object;
+      tally.src = copy_state[idx].src;
       tally.dst = c.dst;
       ++tally.copies;
       tally.bytes += c.bytes;

@@ -50,11 +50,12 @@ struct AccessTally {
   std::uint64_t tasks = 0;  ///< task-access pairs contributing to this row
 };
 
-/// Per-(object, destination tier) migration tally. `hidden` counts copies
-/// that completed outside any group-entry wait — data movement fully
-/// overlapped with computation.
+/// Per-(object, source tier, destination tier) migration tally. `hidden`
+/// counts copies that completed outside any group-entry wait — data
+/// movement fully overlapped with computation.
 struct CopyTally {
   hms::ObjectId object = hms::kInvalidObject;
+  memsim::DeviceId src = memsim::kNvm;  ///< tier the copy read from
   memsim::DeviceId dst = memsim::kDram;
   std::uint64_t copies = 0;
   std::uint64_t bytes = 0;

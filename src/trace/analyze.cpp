@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "common/table.hpp"
 
@@ -170,10 +171,17 @@ Analysis analyze(const JsonValue& trace_doc, const JsonValue* report,
   // ---- report echoes -------------------------------------------------
   if (report != nullptr && report->is_object()) {
     a.has_report = true;
+    a.report_schema_version =
+        static_cast<std::uint64_t>(num_or(*report, "schema_version"));
     a.workload = str_or(*report, "workload");
     a.policy = str_or(*report, "policy");
     a.strategy = str_or(*report, "strategy");
     a.report_overlap_fraction = num_or(*report, "overlap_fraction");
+    if (report->has("tiers") && report->at("tiers").is_array()) {
+      for (const JsonValue& t : report->at("tiers").array) {
+        if (t.is_string()) a.tier_names.push_back(t.string);
+      }
+    }
   }
 
   // ---- placement rationale (final plan) ------------------------------
@@ -184,6 +192,16 @@ Analysis analyze(const JsonValue& trace_doc, const JsonValue* report,
     if (a.strategy.empty()) a.strategy = str_or(*explain, "strategy");
     if (a.workload.empty()) a.workload = str_or(*explain, "workload");
     if (a.policy.empty()) a.policy = str_or(*explain, "policy");
+    if (a.report_schema_version == 0) {
+      a.report_schema_version =
+          static_cast<std::uint64_t>(num_or(*explain, "schema_version"));
+    }
+    if (a.tier_names.empty() && explain->has("tiers") &&
+        explain->at("tiers").is_array()) {
+      for (const JsonValue& t : explain->at("tiers").array) {
+        if (t.is_string()) a.tier_names.push_back(t.string);
+      }
+    }
     const JsonValue& plan = explain->at("plans").array.back();
     a.local_gain = num_or(plan, "local_gain");
     a.global_gain = num_or(plan, "global_gain");
@@ -202,10 +220,32 @@ Analysis analyze(const JsonValue& trace_doc, const JsonValue* report,
         row.extra_cost = num_or(c, "extra_cost");
         row.value = num_or(c, "value");
         row.bytes = static_cast<std::uint64_t>(num_or(c, "bytes"));
+        // v2 candidates are DRAM fills and carry no tier key: tier 0.
+        row.tier = static_cast<std::uint64_t>(num_or(c, "tier", 0.0));
         row.accepted = c.has("accepted") && c.at("accepted").boolean;
         row.reason = str_or(c, "reason");
         a.rationale.push_back(std::move(row));
       }
+    }
+    // Planned per-tier occupancy: distinct accepted units of the winning
+    // pass (falling back to every accepted row when no pass matches the
+    // strategy, e.g. older documents without a pass tag).
+    std::set<std::tuple<std::string, std::uint64_t, std::uint64_t>> seen;
+    bool strategy_matched = false;
+    for (const RationaleRow& r : a.rationale) {
+      if (r.accepted && r.pass == a.strategy) {
+        strategy_matched = true;
+        break;
+      }
+    }
+    for (const RationaleRow& r : a.rationale) {
+      if (!r.accepted) continue;
+      if (strategy_matched && r.pass != a.strategy) continue;
+      if (!seen.insert({r.object, r.chunk, r.tier}).second) continue;
+      if (a.planned_tier_bytes.size() <= r.tier) {
+        a.planned_tier_bytes.resize(r.tier + 1, 0);
+      }
+      a.planned_tier_bytes[r.tier] += r.bytes;
     }
   }
 
@@ -240,10 +280,16 @@ void write_analysis_json(std::ostream& os, const Analysis& a) {
   w.end_array();
   if (a.has_report) {
     w.key("report").begin_object();
+    w.kv("schema_version", a.report_schema_version);
     w.kv("workload", a.workload);
     w.kv("policy", a.policy);
     w.kv("strategy", a.strategy);
     w.kv("overlap_fraction", a.report_overlap_fraction);
+    if (!a.tier_names.empty()) {
+      w.key("tiers").begin_array();
+      for (const std::string& n : a.tier_names) w.value(n);
+      w.end_array();
+    }
     w.end_object();
   }
   if (a.has_explain) {
@@ -252,6 +298,15 @@ void write_analysis_json(std::ostream& os, const Analysis& a) {
     w.kv("local_gain", a.local_gain);
     w.kv("global_gain", a.global_gain);
     w.kv("predicted_gain", a.predicted_gain);
+    w.key("tier_occupancy").begin_array();
+    for (std::size_t t = 0; t < a.planned_tier_bytes.size(); ++t) {
+      w.begin_object();
+      w.kv("tier", static_cast<std::uint64_t>(t));
+      if (t < a.tier_names.size()) w.kv("name", a.tier_names[t]);
+      w.kv("bytes", a.planned_tier_bytes[t]);
+      w.end_object();
+    }
+    w.end_array();
     w.key("rationale").begin_array();
     for (const RationaleRow& r : a.rationale) {
       w.begin_object();
@@ -259,6 +314,7 @@ void write_analysis_json(std::ostream& os, const Analysis& a) {
       w.kv("chunk", r.chunk);
       w.kv("pass", r.pass);
       w.kv("group", r.group);
+      w.kv("tier", r.tier);
       w.kv("sensitivity", r.sensitivity);
       w.kv("benefit", r.benefit);
       w.kv("cost", r.cost);
@@ -310,17 +366,31 @@ void write_analysis_tables(std::ostream& os, const Analysis& a) {
     os << "\nPlacement rationale (final plan: strategy=" << a.strategy
        << ", local gain " << Table::num(a.local_gain, 6) << " s, global gain "
        << Table::num(a.global_gain, 6) << " s)\n";
-    Table t({"object", "chunk", "pass", "group", "sensitivity", "benefit",
-             "cost", "extra", "value", "bytes", "verdict"});
+    Table t({"object", "chunk", "pass", "group", "tier", "sensitivity",
+             "benefit", "cost", "extra", "value", "bytes", "verdict"});
+    const auto tier_label = [&a](std::uint64_t tier) {
+      return tier < a.tier_names.size() ? a.tier_names[tier]
+                                        : std::to_string(tier);
+    };
     for (const RationaleRow& r : a.rationale) {
       t.add_row({r.object, std::to_string(r.chunk), r.pass,
-                 std::to_string(r.group), r.sensitivity,
+                 std::to_string(r.group), tier_label(r.tier), r.sensitivity,
                  Table::num(r.benefit, 6), Table::num(r.cost, 6),
                  Table::num(r.extra_cost, 6), Table::num(r.value, 6),
                  std::to_string(r.bytes),
                  r.accepted ? "accepted" : r.reason});
     }
     t.print(os);
+    if (!a.planned_tier_bytes.empty()) {
+      os << "\nPlanned tier occupancy (accepted units of the winning "
+            "pass)\n";
+      Table occ({"tier", "name", "bytes"});
+      for (std::size_t tier = 0; tier < a.planned_tier_bytes.size(); ++tier) {
+        occ.add_row({std::to_string(tier), tier_label(tier),
+                     std::to_string(a.planned_tier_bytes[tier])});
+      }
+      occ.print(os);
+    }
   }
 }
 

@@ -38,6 +38,9 @@ struct RationaleRow {
   std::uint64_t chunk = 0;
   std::string pass;  ///< "local" / "global" / "pinned"
   std::uint64_t group = 0;
+  /// Destination tier of the candidate. Schema-v3 explain documents carry
+  /// it explicitly; v2 (two-tier) documents imply tier 0 (DRAM fills).
+  std::uint64_t tier = 0;
   std::string sensitivity;
   double benefit = 0.0;
   double cost = 0.0;
@@ -79,10 +82,15 @@ struct Analysis {
 
   // From the report document (when provided).
   bool has_report = false;
+  /// RunReport schema: 2 = two-tier (dram/nvm fields), 3 = N-tier
+  /// (tiers list, per-tier attribution, migration flows). Both parse.
+  std::uint64_t report_schema_version = 0;
   std::string workload;
   std::string policy;
   std::string strategy;
   double report_overlap_fraction = 0.0;
+  /// Tier names from a v3 document ("tiers"); empty for v2.
+  std::vector<std::string> tier_names;
 
   // From the explain document's last plan (when provided).
   bool has_explain = false;
@@ -90,6 +98,9 @@ struct Analysis {
   double global_gain = 0.0;
   double predicted_gain = 0.0;
   std::vector<RationaleRow> rationale;
+  /// Planned occupancy per destination tier: bytes of distinct accepted
+  /// (object, chunk) units of the winning pass, indexed by TierId.
+  std::vector<std::uint64_t> planned_tier_bytes;
 };
 
 /// Analyze a parsed Chrome trace document; `report` / `explain` are

@@ -38,23 +38,23 @@ void CgApp::setup(hms::ObjectRegistry& registry,
                   const hms::ChunkingPolicy& chunking) {
   (void)chunking;  // CG objects are irregular (CSR); never partitioned
   registry_ = &registry;
-  real_ = registry.arena(memsim::kNvm).backing() == hms::Backing::Real;
+  real_ = registry.arena(registry.capacity_tier()).backing() == hms::Backing::Real;
   const std::size_t n = config_.rows;
   const std::size_t nnz = n * config_.nnz_per_row;
 
-  a_ = registry.create("a", nnz * sizeof(double), memsim::kNvm);
-  colidx_ = registry.create("colidx", nnz * sizeof(std::uint32_t), memsim::kNvm);
+  a_ = registry.create("a", nnz * sizeof(double), registry.capacity_tier());
+  colidx_ = registry.create("colidx", nnz * sizeof(std::uint32_t), registry.capacity_tier());
   rowstr_ = registry.create("rowstr", (n + 1) * sizeof(std::uint64_t),
-                            memsim::kNvm);
-  x_ = registry.create("x", n * sizeof(double), memsim::kNvm);
-  z_ = registry.create("z", n * sizeof(double), memsim::kNvm);
-  p_ = registry.create("p", n * sizeof(double), memsim::kNvm);
-  q_ = registry.create("q", n * sizeof(double), memsim::kNvm);
-  r_ = registry.create("r", n * sizeof(double), memsim::kNvm);
+                            registry.capacity_tier());
+  x_ = registry.create("x", n * sizeof(double), registry.capacity_tier());
+  z_ = registry.create("z", n * sizeof(double), registry.capacity_tier());
+  p_ = registry.create("p", n * sizeof(double), registry.capacity_tier());
+  q_ = registry.create("q", n * sizeof(double), registry.capacity_tier());
+  r_ = registry.create("r", n * sizeof(double), registry.capacity_tier());
   scratch_ = registry.create("scratch", config_.blocks * kCacheLine,
-                             memsim::kNvm, config_.blocks);
+                             registry.capacity_tier(), config_.blocks);
   scalars_ = registry.create("scalars", kScalars * sizeof(double),
-                             memsim::kNvm);
+                             registry.capacity_tier());
 
   // Static reference estimates (compiler-analysis stand-in): references per
   // full run, proportional to the loop bounds.

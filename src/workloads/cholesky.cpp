@@ -31,13 +31,13 @@ void CholeskyApp::setup(hms::ObjectRegistry& registry,
   (void)chunking;  // block columns are the algorithmic partition
   TAHOE_REQUIRE(config_.n % config_.block == 0, "block must divide n");
   registry_ = &registry;
-  real_ = registry.arena(memsim::kNvm).backing() == hms::Backing::Real;
+  real_ = registry.arena(registry.capacity_tier()).backing() == hms::Backing::Real;
   const std::size_t k = nblocks();
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(config_.n) * config_.n * sizeof(double);
 
-  a0_ = registry.create("chol_a0", bytes, memsim::kNvm, k);
-  a_ = registry.create("chol_a", bytes, memsim::kNvm, k);
+  a0_ = registry.create("chol_a0", bytes, registry.capacity_tier(), k);
+  a_ = registry.create("chol_a", bytes, registry.capacity_tier(), k);
 
   const auto dn = static_cast<double>(config_.n);
   const double iters = static_cast<double>(config_.iterations);

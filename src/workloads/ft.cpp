@@ -36,7 +36,7 @@ FtApp::Config FtApp::config_for(Scale scale) {
 void FtApp::setup(hms::ObjectRegistry& registry,
                   const hms::ChunkingPolicy& chunking) {
   registry_ = &registry;
-  real_ = registry.arena(memsim::kNvm).backing() == hms::Backing::Real;
+  real_ = registry.arena(registry.capacity_tier()).backing() == hms::Backing::Real;
   const std::size_t n = total_elems();
   const std::uint64_t bytes = n * sizeof(Cplx);
 
@@ -46,10 +46,10 @@ void FtApp::setup(hms::ObjectRegistry& registry,
   chunks_ = pow2_divisor_at_most(config_.segments, suggested);
   elems_per_chunk_ = n / chunks_;
 
-  field_ = registry.create("field", bytes, memsim::kNvm, chunks_);
+  field_ = registry.create("field", bytes, registry.capacity_tier(), chunks_);
   twiddle_ = registry.create("twiddle", segment_len() / 2 * sizeof(Cplx),
-                             memsim::kNvm);
-  checksum_ = registry.create("checksum", chunks_ * kCacheLine, memsim::kNvm,
+                             registry.capacity_tier());
+  checksum_ = registry.create("checksum", chunks_ * kCacheLine, registry.capacity_tier(),
                               chunks_);
 
   const double iters = static_cast<double>(config_.iterations);

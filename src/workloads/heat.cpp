@@ -28,17 +28,17 @@ void HeatApp::setup(hms::ObjectRegistry& registry,
                     const hms::ChunkingPolicy& chunking) {
   (void)chunking;
   registry_ = &registry;
-  real_ = registry.arena(memsim::kNvm).backing() == hms::Backing::Real;
+  real_ = registry.arena(registry.capacity_tier()).backing() == hms::Backing::Real;
   const std::uint64_t cells =
       static_cast<std::uint64_t>(config_.nx) * config_.ny;
   const std::uint64_t bytes = cells * sizeof(double);
 
-  u0_ = registry.create("u0", bytes, memsim::kNvm);
-  u1_ = registry.create("u1", bytes, memsim::kNvm);
-  coeff_ = registry.create("coeff", bytes, memsim::kNvm);
+  u0_ = registry.create("u0", bytes, registry.capacity_tier());
+  u1_ = registry.create("u1", bytes, registry.capacity_tier());
+  coeff_ = registry.create("coeff", bytes, registry.capacity_tier());
   partial_ = registry.create("partial", config_.bands * kCacheLine,
-                             memsim::kNvm, config_.bands);
-  scalars_ = registry.create("hscalars", 8 * sizeof(double), memsim::kNvm);
+                             registry.capacity_tier(), config_.bands);
+  scalars_ = registry.create("hscalars", 8 * sizeof(double), registry.capacity_tier());
 
   const double iters = static_cast<double>(config_.iterations);
   const auto dc = static_cast<double>(cells);

@@ -26,7 +26,7 @@ void MgApp::setup(hms::ObjectRegistry& registry,
                   const hms::ChunkingPolicy& chunking) {
   (void)chunking;  // aliasing-heavy arrays: never partitioned (paper's MG)
   registry_ = &registry;
-  real_ = registry.arena(memsim::kNvm).backing() == hms::Backing::Real;
+  real_ = registry.arena(registry.capacity_tier()).backing() == hms::Backing::Real;
   TAHOE_REQUIRE(config_.levels >= 2, "mg needs at least two levels");
   TAHOE_REQUIRE(level_n(config_.levels - 1) >= 4, "too many levels");
 
@@ -35,11 +35,11 @@ void MgApp::setup(hms::ObjectRegistry& registry,
   for (std::size_t l = 0; l < config_.levels; ++l) {
     const std::uint64_t bytes = level_n(l) * sizeof(double);
     u_.push_back(registry.create("u" + std::to_string(l), bytes,
-                                 memsim::kNvm));
+                                 registry.capacity_tier()));
     r_.push_back(registry.create("r" + std::to_string(l), bytes,
-                                 memsim::kNvm));
+                                 registry.capacity_tier()));
   }
-  v_ = registry.create("v", level_n(0) * sizeof(double), memsim::kNvm);
+  v_ = registry.create("v", level_n(0) * sizeof(double), registry.capacity_tier());
 
   const double iters = static_cast<double>(config_.iterations);
   for (std::size_t l = 0; l < config_.levels; ++l) {

@@ -35,7 +35,7 @@ void NekProxyApp::setup(hms::ObjectRegistry& registry,
                         const hms::ChunkingPolicy& chunking) {
   (void)chunking;
   registry_ = &registry;
-  real_ = registry.arena(memsim::kNvm).backing() == hms::Backing::Real;
+  real_ = registry.arena(registry.capacity_tier()).backing() == hms::Backing::Real;
   const std::uint64_t fbytes = config_.points * sizeof(double);
   const double iters = static_cast<double>(config_.iterations);
   const auto dp = static_cast<double>(config_.points);
@@ -45,7 +45,7 @@ void NekProxyApp::setup(hms::ObjectRegistry& registry,
                                       "bm"};
   geometry_.clear();
   for (const char* name : kGeoNames) {
-    const hms::ObjectId id = registry.create(name, fbytes, memsim::kNvm);
+    const hms::ObjectId id = registry.create(name, fbytes, registry.capacity_tier());
     registry.get_mutable(id).static_ref_estimate = 4 * dp * iters;
     geometry_.push_back(id);
   }
@@ -55,7 +55,7 @@ void NekProxyApp::setup(hms::ObjectRegistry& registry,
                                         "s2", "s3", "s4", "s5"};
   fields_.clear();
   for (const char* name : kFieldNames) {
-    const hms::ObjectId id = registry.create(name, fbytes, memsim::kNvm);
+    const hms::ObjectId id = registry.create(name, fbytes, registry.capacity_tier());
     registry.get_mutable(id).static_ref_estimate = 10 * dp * iters;
     fields_.push_back(id);
   }
@@ -64,7 +64,7 @@ void NekProxyApp::setup(hms::ObjectRegistry& registry,
   const std::uint64_t mbytes = fbytes / 8;
   for (std::size_t i = 0; i < 22; ++i) {
     const hms::ObjectId id =
-        registry.create("w" + std::to_string(i), mbytes, memsim::kNvm);
+        registry.create("w" + std::to_string(i), mbytes, registry.capacity_tier());
     registry.get_mutable(id).static_ref_estimate = dp / 4 * iters;
     misc_.push_back(id);
   }

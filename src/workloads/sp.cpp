@@ -26,7 +26,7 @@ void SpApp::setup(hms::ObjectRegistry& registry,
                   const hms::ChunkingPolicy& chunking) {
   (void)chunking;  // multi-dimensional arrays with aliasing: not partitioned
   registry_ = &registry;
-  real_ = registry.arena(memsim::kNvm).backing() == hms::Backing::Real;
+  real_ = registry.arena(registry.capacity_tier()).backing() == hms::Backing::Real;
   const std::size_t n = config_.grid;
   cells_ = n * n * n;
   const std::uint64_t cell_bytes = cells_ * sizeof(double);
@@ -34,20 +34,20 @@ void SpApp::setup(hms::ObjectRegistry& registry,
 
   // 5 solution components; lhs holds per-line coefficients (SP: 5 diag
   // bands; BT: 3 dense 5x5 blocks per cell -> 3x bigger).
-  u_ = registry.create("u", 5 * cell_bytes, memsim::kNvm);
-  rhs_ = registry.create("rhs", 5 * cell_bytes, memsim::kNvm);
-  forcing_ = registry.create("forcing", 5 * cell_bytes, memsim::kNvm);
-  lhs_ = registry.create("lhs", (bt ? 15 : 5) * cell_bytes, memsim::kNvm);
-  us_ = registry.create("us", cell_bytes, memsim::kNvm);
-  vs_ = registry.create("vs", cell_bytes, memsim::kNvm);
-  ws_ = registry.create("ws", cell_bytes, memsim::kNvm);
-  qs_ = registry.create("qs", cell_bytes, memsim::kNvm);
-  rho_i_ = registry.create("rho_i", cell_bytes, memsim::kNvm);
-  square_ = registry.create("square", cell_bytes, memsim::kNvm);
+  u_ = registry.create("u", 5 * cell_bytes, registry.capacity_tier());
+  rhs_ = registry.create("rhs", 5 * cell_bytes, registry.capacity_tier());
+  forcing_ = registry.create("forcing", 5 * cell_bytes, registry.capacity_tier());
+  lhs_ = registry.create("lhs", (bt ? 15 : 5) * cell_bytes, registry.capacity_tier());
+  us_ = registry.create("us", cell_bytes, registry.capacity_tier());
+  vs_ = registry.create("vs", cell_bytes, registry.capacity_tier());
+  ws_ = registry.create("ws", cell_bytes, registry.capacity_tier());
+  qs_ = registry.create("qs", cell_bytes, registry.capacity_tier());
+  rho_i_ = registry.create("rho_i", cell_bytes, registry.capacity_tier());
+  square_ = registry.create("square", cell_bytes, registry.capacity_tier());
   // Halo-exchange staging buffers: two faces x 5 components.
   const std::uint64_t buf_bytes = 10 * n * n * sizeof(double);
-  in_buffer_ = registry.create("in_buffer", buf_bytes, memsim::kNvm);
-  out_buffer_ = registry.create("out_buffer", buf_bytes, memsim::kNvm);
+  in_buffer_ = registry.create("in_buffer", buf_bytes, registry.capacity_tier());
+  out_buffer_ = registry.create("out_buffer", buf_bytes, registry.capacity_tier());
 
   const double iters = static_cast<double>(config_.iterations);
   const auto dc = static_cast<double>(cells_);

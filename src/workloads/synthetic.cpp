@@ -7,8 +7,8 @@ namespace tahoe::workloads {
 void StreamApp::setup(hms::ObjectRegistry& registry,
                       const hms::ChunkingPolicy& chunking) {
   (void)chunking;
-  src_ = registry.create("stream_src", config_.bytes, memsim::kNvm);
-  dst_ = registry.create("stream_dst", config_.bytes, memsim::kNvm);
+  src_ = registry.create("stream_src", config_.bytes, registry.capacity_tier());
+  dst_ = registry.create("stream_dst", config_.bytes, registry.capacity_tier());
   registry.get_mutable(src_).static_ref_estimate =
       static_cast<double>(config_.bytes / 8 * config_.iterations);
   registry.get_mutable(dst_).static_ref_estimate =
@@ -37,7 +37,7 @@ void StreamApp::build_iteration(task::GraphBuilder& builder,
 void ChaseApp::setup(hms::ObjectRegistry& registry,
                      const hms::ChunkingPolicy& chunking) {
   (void)chunking;
-  ring_ = registry.create("chase_ring", config_.bytes, memsim::kNvm);
+  ring_ = registry.create("chase_ring", config_.bytes, registry.capacity_tier());
   registry.get_mutable(ring_).static_ref_estimate =
       static_cast<double>(config_.bytes / kCacheLine * config_.iterations);
 }
@@ -57,8 +57,8 @@ void ChaseApp::build_iteration(task::GraphBuilder& builder, std::size_t iter) {
 void DriftApp::setup(hms::ObjectRegistry& registry,
                      const hms::ChunkingPolicy& chunking) {
   (void)chunking;
-  a_ = registry.create("drift_a", config_.bytes, memsim::kNvm);
-  b_ = registry.create("drift_b", config_.bytes, memsim::kNvm);
+  a_ = registry.create("drift_a", config_.bytes, registry.capacity_tier());
+  b_ = registry.create("drift_b", config_.bytes, registry.capacity_tier());
   // Static analysis cannot see the drift; both look equally important.
   registry.get_mutable(a_).static_ref_estimate = 0.0;
   registry.get_mutable(b_).static_ref_estimate = 0.0;

@@ -64,17 +64,25 @@ TEST(Device, LatMultiplePreservesBandwidth) {
 TEST(Device, PresetsMatchSurveyTable) {
   // Spot-check the NVMDB/Optane characteristics table.
   const auto presets = devices::all_presets();
-  ASSERT_EQ(presets.size(), 5u);
+  ASSERT_EQ(presets.size(), 7u);
   EXPECT_EQ(presets[0].name, "DRAM");
   EXPECT_NEAR(presets[0].read_lat_s, ns(80), 1e-15);
   EXPECT_EQ(presets[4].name, "Optane-PM");
   EXPECT_NEAR(presets[4].read_bw, mbps(3'900), 1.0);
   EXPECT_NEAR(presets[4].write_bw, mbps(1'300), 1.0);
-  // Every NVM preset is slower than DRAM on both axes.
-  for (std::size_t i = 1; i < presets.size(); ++i) {
+  // Presets 1..4 are the NVM technologies: slower than DRAM on both axes.
+  for (std::size_t i = 1; i <= 4; ++i) {
     EXPECT_GT(presets[i].read_lat_s, presets[0].read_lat_s) << presets[i].name;
     EXPECT_LT(presets[i].read_bw, presets[0].read_bw) << presets[i].name;
   }
+  // N-tier additions: HBM out-bandwidths DRAM; CXL-attached DRAM sits
+  // between local DRAM and Optane on both latency and bandwidth.
+  EXPECT_EQ(presets[5].name, "HBM");
+  EXPECT_GT(presets[5].read_bw, presets[0].read_bw);
+  EXPECT_EQ(presets[6].name, "CXL-DRAM");
+  EXPECT_GT(presets[6].read_lat_s, presets[0].read_lat_s);
+  EXPECT_LT(presets[6].read_bw, presets[0].read_bw);
+  EXPECT_GT(presets[6].read_bw, presets[4].read_bw);
 }
 
 TEST(Device, InvalidParametersThrow) {

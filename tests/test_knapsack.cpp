@@ -101,6 +101,167 @@ TEST(Knapsack, OracleRejectsHugeInstances) {
   EXPECT_THROW(solve_exact(items, 10), ContractError);
 }
 
+// ---- Multi-choice knapsack (N-tier placement). ----
+
+namespace {
+
+/// Recompute a MultiTierResult's value and per-tier usage from its
+/// assignment, so tests catch solvers whose bookkeeping disagrees with
+/// their choices.
+void check_consistent(std::span<const MultiTierItem> items,
+                      std::span<const std::uint64_t> capacities,
+                      const MultiTierResult& r) {
+  ASSERT_EQ(r.assignment.size(), items.size());
+  ASSERT_EQ(r.tier_sizes.size(), capacities.size());
+  double value = 0.0;
+  std::vector<std::uint64_t> used(capacities.size(), 0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const int t = r.assignment[i];
+    if (t < 0) continue;
+    ASSERT_LT(static_cast<std::size_t>(t), capacities.size());
+    value += items[i].values[static_cast<std::size_t>(t)];
+    used[static_cast<std::size_t>(t)] += items[i].size;
+  }
+  EXPECT_NEAR(value, r.total_value, 1e-9);
+  for (std::size_t t = 0; t < capacities.size(); ++t) {
+    EXPECT_LE(used[t], capacities[t]) << "tier " << t;
+    EXPECT_EQ(used[t], r.tier_sizes[t]) << "tier " << t;
+  }
+}
+
+}  // namespace
+
+TEST(MultiKnapsack, OneTierDegeneratesToZeroOne) {
+  // With one constrained tier the MCKP must find the same optimum as the
+  // 0/1 solver (assignments may differ under ties; totals may not).
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<KnapsackItem> flat;
+    std::vector<MultiTierItem> items;
+    const std::size_t n = 3 + rng.next_below(9);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t size = rng.next_below(180) + 1;
+      const double value = (rng.next_double() - 0.2) * 20.0;
+      flat.push_back(KnapsackItem{size, value});
+      items.push_back(MultiTierItem{size, {value}});
+    }
+    const std::uint64_t cap = rng.next_below(350) + 50;
+    const std::uint64_t caps[]{cap};
+    const MultiTierResult multi = solve_multi(items, caps);
+    const KnapsackResult flat_dp = solve(flat, cap, 4096);
+    EXPECT_NEAR(multi.total_value, flat_dp.total_value, 1e-9)
+        << "trial " << trial;
+    check_consistent(items, caps, multi);
+  }
+}
+
+TEST(MultiKnapsack, PicksBestTierPerItem) {
+  // Item 0 is worth more on tier 1, item 1 on tier 0; both fit.
+  const std::vector<MultiTierItem> items{
+      {50, {1.0, 9.0}},
+      {50, {8.0, 2.0}},
+  };
+  const std::uint64_t caps[]{64, 64};
+  const MultiTierResult r = solve_multi(items, caps);
+  EXPECT_EQ(r.assignment, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(r.total_value, 17.0);
+}
+
+TEST(MultiKnapsack, NonPositiveChoicesStayOnCapacityTier) {
+  const std::vector<MultiTierItem> items{
+      {10, {-1.0, 0.0}},
+      {10, {0.0, -5.0}},
+  };
+  const std::uint64_t caps[]{100, 100};
+  const MultiTierResult r = solve_multi(items, caps);
+  EXPECT_EQ(r.assignment, (std::vector<int>{-1, -1}));
+  EXPECT_DOUBLE_EQ(r.total_value, 0.0);
+}
+
+TEST(MultiKnapsack, TwoTierDpMatchesOracleOnRandomInstances) {
+  // Capacities <= 400 with a 2^18 state budget give granule-1 grids, so
+  // the DP is exact and must match the brute-force enumeration of all
+  // 3^n tier assignments.
+  Rng rng(29);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<MultiTierItem> items;
+    const std::size_t n = 3 + rng.next_below(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      items.push_back(MultiTierItem{
+          rng.next_below(150) + 1,
+          {(rng.next_double() - 0.25) * 10.0,
+           (rng.next_double() - 0.25) * 10.0}});
+    }
+    const std::uint64_t caps[]{rng.next_below(300) + 50,
+                               rng.next_below(300) + 50};
+    const MultiTierResult dp = solve_multi(items, caps);
+    const MultiTierResult oracle = solve_multi_exact(items, caps);
+    EXPECT_NEAR(dp.total_value, oracle.total_value, 1e-9)
+        << "trial " << trial;
+    check_consistent(items, caps, dp);
+    check_consistent(items, caps, oracle);
+  }
+}
+
+TEST(MultiKnapsack, ThreeTierDpMatchesOracle) {
+  // Three constrained tiers (a 4-tier machine). Caps <= 60 keep the
+  // granule at 1 under the budget's ~63-granule per-tier grid.
+  Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<MultiTierItem> items;
+    const std::size_t n = 3 + rng.next_below(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      items.push_back(MultiTierItem{
+          rng.next_below(25) + 1,
+          {(rng.next_double() - 0.25) * 10.0,
+           (rng.next_double() - 0.25) * 10.0,
+           (rng.next_double() - 0.25) * 10.0}});
+    }
+    const std::uint64_t caps[]{rng.next_below(50) + 10,
+                               rng.next_below(50) + 10,
+                               rng.next_below(50) + 10};
+    const MultiTierResult dp = solve_multi(items, caps);
+    const MultiTierResult oracle = solve_multi_exact(items, caps);
+    EXPECT_NEAR(dp.total_value, oracle.total_value, 1e-9)
+        << "trial " << trial;
+    check_consistent(items, caps, dp);
+  }
+}
+
+TEST(MultiKnapsack, NeverExceedsAnyTierCapacityUnderCoarseGrid) {
+  // Big byte sizes and a tiny state budget force coarse granules; the
+  // round-up quantization must keep every tier feasible anyway.
+  Rng rng(57);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<MultiTierItem> items;
+    for (int i = 0; i < 10; ++i) {
+      items.push_back(MultiTierItem{
+          (rng.next_below(1u << 24)) + 1,
+          {rng.next_double() * 5.0, rng.next_double() * 5.0}});
+    }
+    const std::uint64_t caps[]{(1ULL << 25) + rng.next_below(1u << 24),
+                               (1ULL << 24) + rng.next_below(1u << 23)};
+    const MultiTierResult r = solve_multi(items, caps, /*state_budget=*/256);
+    check_consistent(items, caps, r);
+  }
+}
+
+TEST(MultiKnapsack, DeterministicAcrossCalls) {
+  const std::vector<MultiTierItem> items{
+      {50, {5.0, 5.0}}, {50, {5.0, 5.0}}, {50, {5.0, 5.0}}};
+  const std::uint64_t caps[]{100, 50};
+  const MultiTierResult a = solve_multi(items, caps);
+  const MultiTierResult b = solve_multi(items, caps);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.total_value, 15.0);  // all three fit across the tiers
+}
+
+TEST(MultiKnapsack, OracleRejectsHugeInstances) {
+  std::vector<MultiTierItem> items(30, MultiTierItem{1, {1.0, 1.0, 1.0}});
+  const std::uint64_t caps[]{10, 10, 10};
+  EXPECT_THROW(solve_multi_exact(items, caps), ContractError);
+}
+
 TEST(Knapsack, DeterministicTieBreaks) {
   const std::vector<KnapsackItem> items{{50, 5.0}, {50, 5.0}, {50, 5.0}};
   const KnapsackResult a = solve(items, 100, 2048);

@@ -1,0 +1,131 @@
+// Two-tier behavior-preservation goldens (N-tier refactor PR).
+//
+// The N-tier generalization must not change a single byte of the report or
+// explain JSON of existing two-tier configurations. These tests replay
+// seeded simulated runs on `platform_a` and `optane_platform` and compare
+// the serialized output against goldens captured *before* the refactor
+// (tests/golden/*.json). Regenerate deliberately with
+// TAHOE_UPDATE_GOLDENS=1 after verifying a behavior change is intended.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/fault.hpp"
+#include "common/units.hpp"
+#include "core/calibration.hpp"
+#include "core/planner.hpp"
+#include "core/runtime.hpp"
+#include "trace/counters.hpp"
+#include "workloads/common.hpp"
+
+#ifndef TAHOE_GOLDEN_DIR
+#define TAHOE_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace tahoe {
+namespace {
+
+core::RuntimeConfig platform_a_config() {
+  core::RuntimeConfig c;
+  c.machine = memsim::machines::platform_a(
+      memsim::devices::nvm_bw_fraction(memsim::devices::dram(64 * kMiB), 0.5,
+                                       4 * kGiB),
+      64 * kMiB);
+  c.backing = hms::Backing::Virtual;
+  c.fixed_decision_seconds = 0.0;
+  c.attribution = true;
+  return c;
+}
+
+core::RuntimeConfig optane_config() {
+  core::RuntimeConfig c;
+  c.machine = memsim::machines::optane_platform(64 * kMiB);
+  c.backing = hms::Backing::Virtual;
+  c.fixed_decision_seconds = 0.0;
+  c.attribution = true;
+  return c;
+}
+
+struct RunJson {
+  std::string report;
+  std::string explain;
+};
+
+/// One fully reset seeded run: the report body alone (no counter/gauge
+/// snapshots — those may legitimately gain new entries over time) plus the
+/// explain document.
+RunJson run_json(const core::RuntimeConfig& config,
+                 const std::string& workload) {
+  fault::global().disarm();
+  trace::global_counters().reset();
+  auto app = workloads::make_workload(workload, workloads::Scale::Test);
+  core::Runtime rt(config);
+  core::TahoePolicy policy(core::calibrate(rt.machine()).to_constants());
+  const core::RunReport report = rt.run(*app, policy);
+  RunJson out;
+  {
+    std::ostringstream os;
+    report.write_json(os);
+    out.report = os.str();
+  }
+  {
+    std::ostringstream os;
+    report.write_explain_json(os);
+    out.explain = os.str();
+  }
+  return out;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(TAHOE_GOLDEN_DIR) + "/" + name;
+}
+
+/// Compare `actual` against the stored golden; with TAHOE_UPDATE_GOLDENS=1
+/// rewrite the golden instead (capture mode).
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("TAHOE_UPDATE_GOLDENS") != nullptr) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write golden " << path;
+    os << actual;
+    GTEST_SKIP() << "golden " << name << " updated";
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good()) << "missing golden " << path
+                         << " (run with TAHOE_UPDATE_GOLDENS=1 to capture)";
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  EXPECT_EQ(buf.str(), actual) << "two-tier run diverged from the "
+                                  "pre-refactor golden " << name;
+}
+
+TEST(TierGoldens, PlatformACgReportIsByteIdentical) {
+  const RunJson r = run_json(platform_a_config(), "cg");
+  check_golden("platform_a_cg.report.json", r.report);
+}
+
+TEST(TierGoldens, PlatformACgExplainIsByteIdentical) {
+  const RunJson r = run_json(platform_a_config(), "cg");
+  check_golden("platform_a_cg.explain.json", r.explain);
+}
+
+TEST(TierGoldens, PlatformAHeatReportIsByteIdentical) {
+  const RunJson r = run_json(platform_a_config(), "heat");
+  check_golden("platform_a_heat.report.json", r.report);
+}
+
+TEST(TierGoldens, OptaneCgReportIsByteIdentical) {
+  const RunJson r = run_json(optane_config(), "cg");
+  check_golden("optane_cg.report.json", r.report);
+}
+
+TEST(TierGoldens, OptaneSpReportIsByteIdentical) {
+  const RunJson r = run_json(optane_config(), "sp");
+  check_golden("optane_sp.report.json", r.report);
+}
+
+}  // namespace
+}  // namespace tahoe
