@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
                "stall-ms/iter(pro)", "stall-ms/iter(nolook)"});
   for (const std::string& name : workloads::workload_names()) {
     const core::RunReport dram =
-        bench::run_static(name, config, memsim::kDram);
+        bench::run_static(name, config, bench::fastest_tier(config));
     const core::RunReport pro = bench::run_tahoe(name, config);
     core::TahoeOptions no_look;
     no_look.proactive = false;

@@ -17,12 +17,12 @@ int main(int argc, char** argv) {
       bench::BenchConfig config = bench::config_from_flags(flags, "bw:0.5");
       config.dram_capacity = mib * kMiB;
       const core::RunReport dram =
-          bench::run_static(name, config, memsim::kDram);
+          bench::run_static(name, config, bench::fastest_tier(config));
       const core::RunReport tahoe = bench::run_tahoe(name, config);
       row.push_back(Table::num(bench::normalized(tahoe, dram)));
       if (mib == 256) {
         nvm_norm = bench::normalized(
-            bench::run_static(name, config, memsim::kNvm), dram);
+            bench::run_static(name, config, bench::capacity_tier(config)), dram);
       }
     }
     row.push_back(Table::num(nvm_norm));

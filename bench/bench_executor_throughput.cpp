@@ -21,10 +21,7 @@
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "task/executor.hpp"
-#include "trace/chrome_export.hpp"
 #include "trace/counters.hpp"
-#include "trace/histogram.hpp"
-#include "trace/trace.hpp"
 
 namespace {
 
@@ -77,19 +74,13 @@ int main(int argc, char** argv) {
   flags.define_int("reps", 5, "repetitions per (mode, workers) cell");
   flags.define_bool("quick", false, "CI smoke: fewer tasks, reps, workers");
   flags.define_bool("csv", false, "emit CSV after the table");
-  flags.define_string("report-json", "",
-                      "append one RunReport JSON line per cell");
-  flags.define_string("trace-out", "",
-                      "write a Chrome trace_event JSON timeline here");
+  bench::register_artifact_flags(flags);
   flags.parse(argc, argv);
 
-  const std::string trace_out = flags.get_string("trace-out");
-  if (!trace_out.empty()) trace::global().set_enabled(true);
-  // Histograms (steal latency, park time, task duration) ride along with
-  // any artifact request; off otherwise so the hot loops stay unperturbed.
-  if (!trace_out.empty() || !flags.get_string("report-json").empty()) {
-    trace::set_histograms_enabled(true);
-  }
+  // Arms the fault injector and turns on histograms (steal latency, park
+  // time, task duration) + tracing with any artifact request; off
+  // otherwise so the hot loops stay unperturbed.
+  const bench::ArtifactFlags artifacts = bench::apply_artifact_flags(flags);
 
   const bool quick = flags.get_bool("quick");
   const std::size_t tasks = quick
@@ -136,15 +127,12 @@ int main(int argc, char** argv) {
                                     steals0),
                      std::to_string(reg.get("executor.parks").value() -
                                     parks0)});
-      bench::append_report_json(report, flags.get_string("report-json"));
+      bench::append_report_json(report, artifacts.report_json);
     }
   }
   bench::emit("executor task throughput (" + std::to_string(tasks) +
                   " independent tasks/rep, best of " + std::to_string(reps) +
                   ")",
               table, flags.get_bool("csv"));
-  if (!trace_out.empty()) {
-    trace::export_chrome_trace(trace::global(), trace_out);
-  }
   return 0;
 }

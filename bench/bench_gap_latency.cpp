@@ -14,11 +14,11 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{name, "1.00"};
     bench::BenchConfig base = bench::config_from_flags(flags, specs[0]);
     const core::RunReport dram =
-        bench::run_static(name, base, memsim::kDram);
+        bench::run_static(name, base, bench::fastest_tier(base));
     for (const std::string& spec : specs) {
       bench::BenchConfig config = bench::config_from_flags(flags, spec);
       const core::RunReport nvm =
-          bench::run_static(name, config, memsim::kNvm);
+          bench::run_static(name, config, bench::capacity_tier(config));
       row.push_back(Table::num(bench::normalized(nvm, dram)));
     }
     table.add_row(std::move(row));

@@ -12,8 +12,8 @@ int main(int argc, char** argv) {
       {"workload", "DRAM-only", "NVM-only", "X-Mem", "Reactive", "Tahoe"});
   for (const std::string& name : workloads::workload_names()) {
     const core::RunReport dram =
-        bench::run_static(name, config, memsim::kDram);
-    const core::RunReport nvm = bench::run_static(name, config, memsim::kNvm);
+        bench::run_static(name, config, bench::fastest_tier(config));
+    const core::RunReport nvm = bench::run_static(name, config, bench::capacity_tier(config));
     const core::RunReport xmem = bench::run_xmem(name, config);
     const core::RunReport reactive = bench::run_reactive(name, config);
     const core::RunReport tahoe = bench::run_tahoe(name, config);

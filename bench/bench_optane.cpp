@@ -28,7 +28,8 @@ double memory_mode_seconds(const std::string& name,
   rc.machine = baselines::memory_mode_machine(rc.machine, footprint);
   core::Runtime rt(rc);
   auto app2 = workloads::make_workload(name, config.scale);
-  return rt.run_static(*app2, memsim::kNvm).steady_iteration_seconds();
+  return rt.run_static(*app2, rt.machine().capacity_tier())
+      .steady_iteration_seconds();
 }
 
 }  // namespace
@@ -44,8 +45,8 @@ int main(int argc, char** argv) {
                "Tahoe w.o drw", "Tahoe w. drw"});
   for (const std::string& name : workloads::workload_names()) {
     const core::RunReport dram =
-        bench::run_static(name, config, memsim::kDram);
-    const core::RunReport nvm = bench::run_static(name, config, memsim::kNvm);
+        bench::run_static(name, config, bench::fastest_tier(config));
+    const core::RunReport nvm = bench::run_static(name, config, bench::capacity_tier(config));
     const core::RunReport xmem = bench::run_xmem(name, config);
     core::TahoeOptions no_drw;
     no_drw.distinguish_rw = false;

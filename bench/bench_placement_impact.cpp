@@ -36,8 +36,8 @@ int main(int argc, char** argv) {
   Table table({"placement", "1/2 BW", "4x LAT"});
   const bench::BenchConfig bw = bench::config_from_flags(flags, "bw:0.5");
   const bench::BenchConfig lat = bench::config_from_flags(flags, "lat:4");
-  const core::RunReport dram_bw = bench::run_static("sp", bw, memsim::kDram);
-  const core::RunReport dram_lat = bench::run_static("sp", lat, memsim::kDram);
+  const core::RunReport dram_bw = bench::run_static("sp", bw, bench::fastest_tier(bw));
+  const core::RunReport dram_lat = bench::run_static("sp", lat, bench::fastest_tier(lat));
 
   table.add_row({"DRAM-only", "1.00", "1.00"});
   for (const auto& [label, objects] : placements) {
@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
                    Table::num(pinned_normalized("sp", lat, objects,
                                                 dram_lat))});
   }
-  const core::RunReport nvm_bw = bench::run_static("sp", bw, memsim::kNvm);
-  const core::RunReport nvm_lat = bench::run_static("sp", lat, memsim::kNvm);
+  const core::RunReport nvm_bw = bench::run_static("sp", bw, bench::capacity_tier(bw));
+  const core::RunReport nvm_lat = bench::run_static("sp", lat, bench::capacity_tier(lat));
   table.add_row({"NVM-only", Table::num(bench::normalized(nvm_bw, dram_bw)),
                  Table::num(bench::normalized(nvm_lat, dram_lat))});
 

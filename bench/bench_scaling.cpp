@@ -13,8 +13,8 @@ int main(int argc, char** argv) {
   for (const std::uint32_t workers : {4u, 8u, 16u, 32u, 64u}) {
     bench::BenchConfig config = bench::config_from_flags(flags, "bw:0.6");
     config.workers = workers;
-    const core::RunReport dram = bench::run_static("cg", config, memsim::kDram);
-    const core::RunReport nvm = bench::run_static("cg", config, memsim::kNvm);
+    const core::RunReport dram = bench::run_static("cg", config, bench::fastest_tier(config));
+    const core::RunReport nvm = bench::run_static("cg", config, bench::capacity_tier(config));
     const core::RunReport tahoe = bench::run_tahoe("cg", config);
     table.add_row({std::to_string(workers), "1.00",
                    Table::num(bench::normalized(tahoe, dram)),

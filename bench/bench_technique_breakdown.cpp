@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   Table table({"workload", "global-search%", "local-search%", "chunking%",
                "initial-placement%"});
   for (const std::string& name : workloads::workload_names()) {
-    const double nvm = bench::run_static(name, config, memsim::kNvm)
+    const double nvm = bench::run_static(name, config, bench::capacity_tier(config))
                            .steady_iteration_seconds();
 
     core::TahoeOptions global_only;
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     // Scale the initial-placement whole-run gain to per-iteration units.
     const double iters =
         static_cast<double>(std::max<std::size_t>(
-            bench::run_static(name, config, memsim::kDram)
+            bench::run_static(name, config, bench::fastest_tier(config))
                 .iteration_seconds.size(),
             1));
     const double init_gain = (t3_total - t4_total) / iters;

@@ -21,7 +21,7 @@ memsim::Machine make_machine(const BenchConfig& config) {
     if (config.nvm_spec == "optane") {
       memsim::Machine om = memsim::machines::optane_platform(
           config.dram_capacity);
-      om.devices[memsim::kNvm].capacity = config.nvm_capacity;
+      om.devices.back().capacity = config.nvm_capacity;
       return om;
     }
     const auto colon = config.nvm_spec.find(':');
@@ -47,6 +47,14 @@ memsim::Machine make_machine(const BenchConfig& config) {
   }();
   if (config.workers != 0) m.workers = config.workers;
   return m;
+}
+
+memsim::TierId fastest_tier(const BenchConfig& config) {
+  return make_machine(config).fastest_tier();
+}
+
+memsim::TierId capacity_tier(const BenchConfig& config) {
+  return make_machine(config).capacity_tier();
 }
 
 core::RuntimeConfig runtime_config(const BenchConfig& config) {
@@ -140,12 +148,7 @@ double normalized(const core::RunReport& run, const core::RunReport& dram) {
   return run.steady_iteration_seconds() / base;
 }
 
-Flags standard_flags() {
-  Flags flags;
-  flags.define_string("scale", "bench", "problem scale: test | bench");
-  flags.define_bool("csv", false, "also emit CSV");
-  flags.define_int("dram-mib", 256, "DRAM tier capacity in MiB");
-  flags.define_int("workers", 0, "worker override (0 = machine default)");
+void register_artifact_flags(Flags& flags) {
   flags.define_string("trace-out", "",
                       "write a Chrome trace_event JSON timeline here "
                       "(open in chrome://tracing or Perfetto)");
@@ -155,13 +158,48 @@ Flags standard_flags() {
                       "append each policy run's plan provenance (candidates, "
                       "weights, accept/reject reasons) as a JSON line here");
   fault::register_flags(flags);
+}
+
+ArtifactFlags apply_artifact_flags(const Flags& flags) {
+  // Chaos benchmarking: arm the global injector when any --fault-* rate is
+  // set (all seeded, so chaos runs replay exactly).
+  fault::configure_from_flags(flags);
+  ArtifactFlags out;
+  out.report_json = flags.get_string("report-json");
+  out.explain_out = flags.get_string("explain-out");
+  out.trace_out = flags.get_string("trace-out");
+  // Latency histograms ride along whenever any artifact is requested; they
+  // are off by default so uninstrumented runs pay only a relaxed load.
+  if (!out.report_json.empty() || !out.explain_out.empty() ||
+      !out.trace_out.empty()) {
+    trace::set_histograms_enabled(true);
+  }
+  if (!out.trace_out.empty()) {
+    // Export at process exit so one invocation (possibly many runs) yields
+    // one timeline. The path outlives the call via a static.
+    static std::string trace_path;
+    const bool first = trace_path.empty();
+    trace_path = out.trace_out;
+    trace::global().set_enabled(true);
+    if (first) {
+      std::atexit([] { trace::export_chrome_trace(trace::global(), trace_path); });
+    }
+  }
+  return out;
+}
+
+Flags standard_flags() {
+  Flags flags;
+  flags.define_string("scale", "bench", "problem scale: test | bench");
+  flags.define_bool("csv", false, "also emit CSV");
+  flags.define_int("dram-mib", 256, "DRAM tier capacity in MiB");
+  flags.define_int("workers", 0, "worker override (0 = machine default)");
+  register_artifact_flags(flags);
   return flags;
 }
 
 BenchConfig config_from_flags(const Flags& flags, const std::string& nvm_spec) {
-  // Chaos benchmarking: arm the global injector when any --fault-* rate is
-  // set (all seeded, so chaos runs replay exactly).
-  fault::configure_from_flags(flags);
+  const ArtifactFlags artifacts = apply_artifact_flags(flags);
   BenchConfig config;
   config.nvm_spec = nvm_spec;
   config.dram_capacity =
@@ -169,28 +207,10 @@ BenchConfig config_from_flags(const Flags& flags, const std::string& nvm_spec) {
   config.workers = static_cast<std::uint32_t>(flags.get_int("workers"));
   config.scale = flags.get_string("scale") == "test" ? workloads::Scale::Test
                                                      : workloads::Scale::Bench;
-  config.report_json = flags.get_string("report-json");
-  config.explain_out = flags.get_string("explain-out");
+  config.report_json = artifacts.report_json;
+  config.explain_out = artifacts.explain_out;
   config.attribution =
       !config.report_json.empty() || !config.explain_out.empty();
-  // Latency histograms ride along whenever any artifact is requested; they
-  // are off by default so uninstrumented runs pay only a relaxed load.
-  if (config.attribution || !flags.get_string("trace-out").empty()) {
-    trace::set_histograms_enabled(true);
-  }
-
-  const std::string trace_out = flags.get_string("trace-out");
-  if (!trace_out.empty()) {
-    // Export at process exit so one invocation (possibly many runs) yields
-    // one timeline. The path outlives the call via a static.
-    static std::string trace_path;
-    const bool first = trace_path.empty();
-    trace_path = trace_out;
-    trace::global().set_enabled(true);
-    if (first) {
-      std::atexit([] { trace::export_chrome_trace(trace::global(), trace_path); });
-    }
-  }
   return config;
 }
 

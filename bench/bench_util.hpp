@@ -38,6 +38,13 @@ struct BenchConfig {
 /// Build the machine for a config (platform-a unless spec == "optane").
 memsim::Machine make_machine(const BenchConfig& config);
 
+/// Tier pins for the static-placement baselines, resolved from the
+/// config's machine — the N-tier-safe spelling of the old kDram/kNvm
+/// literals (fastest tier = DRAM, capacity tier = NVM on the two-tier
+/// platforms).
+memsim::TierId fastest_tier(const BenchConfig& config);
+memsim::TierId capacity_tier(const BenchConfig& config);
+
 /// Runtime configuration with virtual backing (simulation only).
 core::RuntimeConfig runtime_config(const BenchConfig& config);
 
@@ -63,6 +70,26 @@ core::RunReport run_reactive(const std::string& workload,
 /// Normalization helper: steady-state iteration time relative to the
 /// DRAM-only run.
 double normalized(const core::RunReport& run, const core::RunReport& dram);
+
+/// Parsed artifact-output flag values (apply_artifact_flags).
+struct ArtifactFlags {
+  std::string report_json;
+  std::string explain_out;
+  std::string trace_out;
+};
+
+/// Register the artifact + fault-injection flags (--trace-out,
+/// --report-json, --explain-out, --fault-*) on an existing Flags set.
+/// Benches that roll their own flag set call this instead of duplicating
+/// the registrations; standard_flags() goes through it too, so every
+/// bench exposes the same artifact surface.
+void register_artifact_flags(Flags& flags);
+
+/// Apply the artifact + fault flags after parsing: arm the seeded fault
+/// injector, enable latency histograms whenever any artifact output is
+/// requested, and install the at-exit Chrome-trace export for
+/// --trace-out. Returns the parsed paths.
+ArtifactFlags apply_artifact_flags(const Flags& flags);
 
 /// Standard flag set (--scale, --csv, --dram-mib, --workers, --trace-out,
 /// --report-json, --explain-out); returns the parsed flags after

@@ -77,4 +77,47 @@ MultiTierResult solve_multi(std::span<const MultiTierItem> items,
 MultiTierResult solve_multi_exact(std::span<const MultiTierItem> items,
                                   std::span<const std::uint64_t> capacities);
 
+// ---- Multi-tenant knapsack with per-tenant capacity rows. ----
+//
+// The serving scenario: one constrained fast tier shared by N concurrent
+// applications (tenants). Each tenant owns a subset of the items and is
+// bounded by its own capacity row (quota) *in addition to* the shared
+// tier capacity, and its item values are scaled by the tenant's priority
+// before arbitration. The solver decomposes into one per-tenant 0/1 DP
+// (within the quota row) plus a DP across tenants that splits the shared
+// capacity — exact up to the capacity-grid quantization.
+
+struct TenantItem {
+  std::uint64_t size = 0;
+  double value = 0.0;        ///< un-weighted Eq. (7)-style value
+  std::uint32_t tenant = 0;  ///< index into the quota-row span
+};
+
+struct TenantRow {
+  std::uint64_t quota = 0;   ///< hard cap on this tenant's bytes on the tier
+  double priority = 1.0;     ///< value multiplier during arbitration
+};
+
+struct TenantKnapsackResult {
+  std::vector<std::size_t> chosen;  ///< indices into the item span, ascending
+  double total_value = 0.0;         ///< priority-weighted objective
+  std::uint64_t total_size = 0;
+  std::vector<std::uint64_t> tenant_sizes;  ///< bytes per tenant row
+};
+
+/// Scaled DP. Sizes are rounded *up* to capacity/grid granules and quotas
+/// rounded *down* to whole granules, so neither the shared capacity nor
+/// any tenant row is ever violated. Items with value <= 0, items larger
+/// than their tenant's row, and items of tenants with a zero quota are
+/// never chosen.
+TenantKnapsackResult solve_tenant_rows(std::span<const TenantItem> items,
+                                       std::uint64_t capacity,
+                                       std::span<const TenantRow> rows,
+                                       std::uint32_t grid = 2048);
+
+/// Exhaustive oracle; requires items.size() <= 20.
+TenantKnapsackResult solve_tenant_rows_exact(std::span<const TenantItem> items,
+                                             std::uint64_t capacity,
+                                             std::span<const TenantRow> rows);
+
 }  // namespace tahoe::core

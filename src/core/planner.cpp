@@ -877,4 +877,80 @@ PlanDecision TahoePolicy::decide_multi(const PlanInputs& in) {
   return decision;
 }
 
+std::vector<std::uint64_t> derive_tenant_quotas(
+    std::uint64_t fast_capacity, const std::vector<double>& priorities) {
+  double sum = 0.0;
+  for (double p : priorities) {
+    TAHOE_REQUIRE(p > 0.0, "tenant priority must be positive");
+    sum += p;
+  }
+  std::vector<std::uint64_t> quotas(priorities.size(), 0);
+  if (sum <= 0.0) return quotas;
+  for (std::size_t t = 0; t < priorities.size(); ++t) {
+    quotas[t] = static_cast<std::uint64_t>(
+        static_cast<double>(fast_capacity) * (priorities[t] / sum));
+  }
+  return quotas;
+}
+
+TenantPlacementPlan plan_tenants(const std::vector<TenantDemand>& tenants,
+                                 std::uint64_t fast_capacity,
+                                 bool enforce_quotas) {
+  TenantPlacementPlan plan;
+  plan.promoted.resize(tenants.size());
+  plan.quota_bytes.resize(tenants.size(), 0);
+  plan.planned_bytes.resize(tenants.size(), 0);
+
+  // Flatten every tenant's candidates into one item span, remembering the
+  // (tenant, candidate) origin of each item.
+  std::vector<TenantItem> items;
+  std::vector<std::pair<std::size_t, std::size_t>> origin;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    for (std::size_t c = 0; c < tenants[t].candidates.size(); ++c) {
+      const TenantUnitCandidate& cand = tenants[t].candidates[c];
+      items.push_back({cand.bytes, cand.value, static_cast<std::uint32_t>(t)});
+      origin.emplace_back(t, c);
+    }
+  }
+
+  if (enforce_quotas) {
+    std::vector<double> priorities;
+    priorities.reserve(tenants.size());
+    for (const TenantDemand& t : tenants) priorities.push_back(t.priority);
+    const std::vector<std::uint64_t> derived =
+        derive_tenant_quotas(fast_capacity, priorities);
+    std::vector<TenantRow> rows(tenants.size());
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      rows[t].quota =
+          tenants[t].quota_bytes > 0 ? tenants[t].quota_bytes : derived[t];
+      rows[t].priority = tenants[t].priority;
+      plan.quota_bytes[t] = rows[t].quota;
+    }
+    const TenantKnapsackResult sol =
+        solve_tenant_rows(items, fast_capacity, rows);
+    for (std::size_t idx : sol.chosen) {
+      const auto [t, c] = origin[idx];
+      plan.promoted[t].push_back(tenants[t].candidates[c].unit);
+      plan.planned_bytes[t] += tenants[t].candidates[c].bytes;
+    }
+    plan.total_value = sol.total_value;
+    return plan;
+  }
+
+  // Quota-free baseline: one shared knapsack, blind to tenants and
+  // priorities. quota_bytes stays 0 (no rows in effect).
+  std::vector<KnapsackItem> flat(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    flat[i] = {items[i].size, items[i].value};
+  }
+  const KnapsackResult sol = solve(flat, fast_capacity);
+  for (std::size_t idx : sol.chosen) {
+    const auto [t, c] = origin[idx];
+    plan.promoted[t].push_back(tenants[t].candidates[c].unit);
+    plan.planned_bytes[t] += tenants[t].candidates[c].bytes;
+  }
+  plan.total_value = sol.total_value;
+  return plan;
+}
+
 }  // namespace tahoe::core

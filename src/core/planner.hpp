@@ -79,4 +79,55 @@ std::vector<UnitWeight> group_weights(
     const PlanInputs& in, const PerfModel& model, task::GroupId g,
     const std::vector<UnitKey>& residents_before, bool distinguish_rw);
 
+// ---- Multi-tenant serving plan (per-tenant capacity rows). ----
+//
+// The serving subsystem (src/serve/) registers N concurrent applications
+// against one machine. Planning is the multi-tenant variant of the
+// knapsack: every tenant contributes fast-tier promotion candidates, and
+// the shared fast tier is arbitrated under per-tenant capacity rows
+// (quotas) with priority-weighted values (core::solve_tenant_rows). The
+// quota-free baseline runs the same candidates through the plain shared
+// 0/1 knapsack, blind to tenants and priorities.
+
+/// One fast-tier promotion candidate of a tenant. `value` is the modeled
+/// seconds saved per second of request traffic when the unit is served
+/// from the fast tier instead of the capacity tier.
+struct TenantUnitCandidate {
+  UnitKey unit;
+  std::uint64_t bytes = 0;
+  double value = 0.0;
+};
+
+struct TenantDemand {
+  std::string name;
+  double priority = 1.0;
+  /// Per-tenant capacity row in bytes; 0 derives the row from the
+  /// tenant's priority share of the fast tier (derive_tenant_quotas).
+  std::uint64_t quota_bytes = 0;
+  std::vector<TenantUnitCandidate> candidates;
+};
+
+struct TenantPlacementPlan {
+  /// Units placed on the fast tier, per tenant (same order as the input).
+  std::vector<std::vector<UnitKey>> promoted;
+  std::vector<std::uint64_t> quota_bytes;    ///< effective rows used
+  std::vector<std::uint64_t> planned_bytes;  ///< fast-tier bytes per tenant
+  double total_value = 0.0;  ///< priority-weighted (QoS) or raw (quota-free)
+};
+
+/// Priority-proportional split of the fast tier: tenant i gets
+/// floor(capacity * priority_i / sum(priorities)) bytes. Deterministic;
+/// the rounding remainder stays unreserved (the shared-capacity DP may
+/// still hand it to any tenant within its row).
+std::vector<std::uint64_t> derive_tenant_quotas(
+    std::uint64_t fast_capacity, const std::vector<double>& priorities);
+
+/// Plan fast-tier residency for N tenants sharing `fast_capacity` bytes.
+/// With `enforce_quotas`, per-tenant rows and priorities arbitrate the
+/// tier (multi-tenant knapsack); without, one shared knapsack over all
+/// candidates ignores tenancy entirely.
+TenantPlacementPlan plan_tenants(const std::vector<TenantDemand>& tenants,
+                                 std::uint64_t fast_capacity,
+                                 bool enforce_quotas);
+
 }  // namespace tahoe::core

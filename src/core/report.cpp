@@ -3,6 +3,23 @@
 #include "trace/json.hpp"
 
 namespace tahoe::core {
+namespace {
+
+/// Same digest shape as the "histograms" section, reused for the
+/// per-tenant latency fields so consumers parse one format.
+void write_digest(trace::JsonWriter& w, const char* key,
+                  const trace::HistogramSnapshot& h) {
+  w.key(key).begin_object();
+  w.kv("count", h.count());
+  w.kv("sum", h.sum);
+  w.kv("p50", h.p50());
+  w.kv("p90", h.p90());
+  w.kv("p99", h.p99());
+  w.kv("max", h.max);
+  w.end_object();
+}
+
+}  // namespace
 
 double RunReport::steady_iteration_seconds(std::size_t warmup) const {
   // With no post-warmup iterations there is no steady state to report;
@@ -25,9 +42,10 @@ void RunReport::write_json(
     const std::vector<std::pair<std::string, trace::HistogramSnapshot>>&
         histograms) const {
   const bool v3 = multi_tier();
+  const bool v4 = serving();
   trace::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema_version", std::uint64_t{v3 ? 3u : 2u});
+  w.kv("schema_version", std::uint64_t{v4 ? 4u : (v3 ? 3u : 2u)});
   w.kv("workload", workload);
   w.kv("policy", policy);
   w.kv("strategy", strategy);
@@ -77,6 +95,24 @@ void RunReport::write_json(
     w.end_object();
   }
   w.end_object();
+  if (v4) {
+    w.key("tenants").begin_array();
+    for (const TenantReportRow& t : tenants) {
+      w.begin_object();
+      w.kv("name", t.name);
+      w.kv("priority", t.priority);
+      w.kv("quota_bytes", t.quota_bytes);
+      w.kv("fast_bytes", t.fast_bytes);
+      w.kv("total_bytes", t.total_bytes);
+      w.kv("requests", t.requests);
+      w.kv("dropped", t.dropped);
+      write_digest(w, "request_latency", t.request_latency);
+      write_digest(w, "queue_wait", t.queue_wait);
+      write_digest(w, "service_time", t.service_time);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("attribution").begin_array();
   for (const AttributionRow& r : attribution) {
     w.begin_object();

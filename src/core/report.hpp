@@ -92,6 +92,22 @@ struct ObjectMigrationRow {
   std::vector<TierFlowRow> flows;
 };
 
+/// Per-tenant serving section of a RunReport (schema v4). Latency and
+/// queue-wait digests come from the tenant-labeled request histograms;
+/// occupancy is the tenant's fast-tier residency at the end of the run.
+struct TenantReportRow {
+  std::string name;
+  double priority = 1.0;
+  std::uint64_t quota_bytes = 0;       ///< effective capacity row (0 = none)
+  std::uint64_t fast_bytes = 0;        ///< fast-tier residency (occupancy)
+  std::uint64_t total_bytes = 0;       ///< tenant footprint across tiers
+  std::uint64_t requests = 0;          ///< completed requests
+  std::uint64_t dropped = 0;           ///< requests still queued at shutdown
+  trace::HistogramSnapshot request_latency;  ///< arrival -> completion
+  trace::HistogramSnapshot queue_wait;       ///< arrival -> service start
+  trace::HistogramSnapshot service_time;     ///< service start -> completion
+};
+
 struct RunReport {
   std::string workload;
   std::string policy;
@@ -104,6 +120,13 @@ struct RunReport {
   std::vector<std::string> tier_names;
 
   bool multi_tier() const noexcept { return tier_names.size() > 2; }
+
+  /// Per-tenant serving rows (src/serve/). Non-empty reports serialize
+  /// with schema_version 4 and a "tenants" array; empty (the non-serving
+  /// case) leaves the v2/v3 layouts byte-identical.
+  std::vector<TenantReportRow> tenants;
+
+  bool serving() const noexcept { return !tenants.empty(); }
 
   std::vector<double> iteration_seconds;  ///< simulated makespan per iter
   double compute_seconds = 0.0;           ///< sum of iteration makespans
@@ -172,7 +195,8 @@ struct RunReport {
   /// (count/percentile digests). The "schema_version" field leads the
   /// object: 2 for two-tier reports (byte-stable legacy layout), 3 when
   /// the report covers more than two tiers ("tiers" list, per-tier
-  /// attribution, tier-pair migration flows). Attribution rows are
+  /// attribution, tier-pair migration flows), 4 when `tenants` is
+  /// non-empty (adds the per-tenant serving array). Attribution rows are
   /// emitted under "attribution" and "objects".
   void write_json(
       std::ostream& os,

@@ -20,6 +20,11 @@ namespace tahoe::hms {
 using ObjectId = std::uint32_t;
 inline constexpr ObjectId kInvalidObject = 0xffffffffu;
 
+/// Owner (tenant) tag for multi-tenant accounting; kNoOwner for the
+/// single-application case.
+using OwnerId = std::uint32_t;
+inline constexpr OwnerId kNoOwner = 0xffffffffu;
+
 struct Chunk {
   std::uint64_t bytes = 0;
   memsim::DeviceId device = memsim::kNvm;
@@ -49,6 +54,8 @@ struct DataObject {
   /// Static (compiler-analysis style) estimate of total references, used
   /// by the initial-placement optimization. 0 = unknown.
   double static_ref_estimate = 0.0;
+  /// Owning tenant (serving runs); kNoOwner outside multi-tenant mode.
+  OwnerId owner = kNoOwner;
 
   std::size_t num_chunks() const noexcept { return chunks.size(); }
   bool chunked() const noexcept { return chunks.size() > 1; }

@@ -233,6 +233,12 @@ MigrateResult ObjectRegistry::try_migrate_chunk(ObjectId id, std::size_t chunk,
     stats_.to_tier.resize(arenas_.size(), 0);
   }
   ++stats_.to_tier[dst];
+  if (obj.owner != kNoOwner) {
+    if (stats_.bytes_moved_by_owner.size() <= obj.owner) {
+      stats_.bytes_moved_by_owner.resize(obj.owner + 1, 0);
+    }
+    stats_.bytes_moved_by_owner[obj.owner] += c.bytes;
+  }
   return MigrateResult::kMoved;
 }
 
@@ -265,6 +271,32 @@ std::uint64_t ObjectRegistry::resident_bytes(memsim::DeviceId dev) const {
   std::uint64_t total = 0;
   for (const auto& o : objects_) {
     if (o) total += o->bytes_on(dev);
+  }
+  return total;
+}
+
+void ObjectRegistry::set_owner(ObjectId id, OwnerId owner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TAHOE_REQUIRE(id < objects_.size() && objects_[id] != nullptr,
+                "set_owner: unknown object");
+  objects_[id]->owner = owner;
+}
+
+std::uint64_t ObjectRegistry::resident_bytes_owned(
+    OwnerId owner, memsim::DeviceId dev) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& o : objects_) {
+    if (o && o->owner == owner) total += o->bytes_on(dev);
+  }
+  return total;
+}
+
+std::uint64_t ObjectRegistry::total_bytes_owned(OwnerId owner) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& o : objects_) {
+    if (o && o->owner == owner) total += o->bytes;
   }
   return total;
 }

@@ -33,6 +33,9 @@ struct MigrationStats {
   /// use; to_tier[kDram] == to_dram and to_tier[kNvm] == to_nvm on
   /// two-tier machines).
   std::vector<std::uint64_t> to_tier;
+  /// Bytes moved per owning tenant, indexed by OwnerId (sized on first
+  /// use; moves of unowned objects are not recorded here).
+  std::vector<std::uint64_t> bytes_moved_by_owner;
 };
 
 /// Outcome of a single chunk-migration attempt. Aborts are transient
@@ -112,6 +115,16 @@ class ObjectRegistry {
 
   /// Bytes currently resident per tier across all objects.
   std::uint64_t resident_bytes(memsim::DeviceId dev) const;
+
+  /// Tag an object with its owning tenant (multi-tenant serving runs).
+  void set_owner(ObjectId id, OwnerId owner);
+
+  /// Bytes of `owner`-tagged objects currently resident on `dev`.
+  std::uint64_t resident_bytes_owned(OwnerId owner,
+                                     memsim::DeviceId dev) const;
+
+  /// Total footprint of `owner`-tagged objects across all tiers.
+  std::uint64_t total_bytes_owned(OwnerId owner) const;
 
  private:
   /// Allocate `bytes` on `initial`, retrying through injected failures and

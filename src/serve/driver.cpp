@@ -1,0 +1,222 @@
+#include "serve/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "serve/request.hpp"
+#include "task/sim_executor.hpp"
+#include "trace/counters.hpp"
+#include "trace/histogram.hpp"
+
+namespace tahoe::serve {
+namespace {
+
+/// Per-tenant mutable serving state. Histograms hold atomics, so the state
+/// lives behind unique_ptr.
+struct TenantState {
+  std::unique_ptr<OpenLoopSource> source;
+  std::unique_ptr<Rng> work_rng;
+  std::deque<Request> queue;
+  std::uint64_t completed = 0;
+  trace::Histogram request_latency;
+  trace::Histogram queue_wait;
+  trace::Histogram service_time;
+  /// Registry-side mirrors (tenant-labeled, visible to trace exports);
+  /// null when histograms are globally disabled.
+  trace::Histogram* global_request = nullptr;
+  trace::Histogram* global_queue = nullptr;
+  trace::Histogram* global_service = nullptr;
+};
+
+void record(trace::Histogram& local, trace::Histogram* global,
+            double seconds) {
+  local.record_seconds(seconds);
+  if (global != nullptr) global->record_seconds(seconds);
+}
+
+}  // namespace
+
+ServeResult run_serve(TenantManager& manager, const ServeOptions& options) {
+  TAHOE_REQUIRE(manager.size() > 0, "run_serve needs at least one tenant");
+  TAHOE_REQUIRE(options.epoch_seconds > 0.0, "epoch must be positive");
+  TAHOE_REQUIRE(options.max_batch > 0, "max_batch must be positive");
+  const memsim::Machine& machine = manager.machine();
+
+  ServeResult result;
+  const auto t_plan = std::chrono::steady_clock::now();
+  result.plan = manager.plan(options.enforce_quotas);
+  hms::PlacementMap placement;
+  manager.apply(result.plan, placement);
+  const double plan_seconds =
+      options.deterministic
+          ? 0.0
+          : std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t_plan)
+                .count();
+
+  // Dispatch order: priority descending, registration order breaking ties.
+  // The order is identical with and without quota enforcement, so QoS
+  // comparisons isolate the placement difference.
+  std::vector<std::size_t> order(manager.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return manager.tenant(a).priority >
+                            manager.tenant(b).priority;
+                   });
+
+  std::vector<std::unique_ptr<TenantState>> states;
+  for (std::size_t i = 0; i < manager.size(); ++i) {
+    const TenantConfig& cfg = manager.tenant(i);
+    auto st = std::make_unique<TenantState>();
+    st->source = std::make_unique<OpenLoopSource>(
+        static_cast<std::uint32_t>(i), cfg.arrival_hz, cfg.seed);
+    st->work_rng = std::make_unique<Rng>(cfg.seed ^ 0x5eedf0c1a11eau);
+    if (trace::histograms_enabled()) {
+      trace::CounterRegistry& reg = trace::global_counters();
+      st->global_request =
+          &reg.histogram("serve." + cfg.name + ".request_ns");
+      st->global_queue = &reg.histogram("serve." + cfg.name + ".queue_ns");
+      st->global_service =
+          &reg.histogram("serve." + cfg.name + ".service_ns");
+    }
+    states.push_back(std::move(st));
+  }
+
+  core::RunReport& report = result.report;
+  report.workload = "serve";
+  report.policy = options.enforce_quotas ? "tenant-qos" : "quota-free";
+  report.strategy = options.enforce_quotas ? "priority-rows" : "shared";
+  for (std::size_t t = 0; t < machine.num_tiers(); ++t) {
+    report.tier_names.push_back(
+        machine.tier(static_cast<memsim::TierId>(t)).name);
+  }
+  report.decision_seconds = plan_seconds;
+  report.overhead_seconds = plan_seconds;
+
+  task::SimExecutor executor;
+  std::uint64_t next_tag = 0;
+  double clock = 0.0;
+  while (clock < options.duration_seconds) {
+    for (auto& st : states) {
+      for (Request& r : st->source->drain_until(clock)) {
+        st->queue.push_back(r);
+      }
+    }
+
+    // Batch this epoch: one group per tenant with queued work, highest
+    // priority dispatched first.
+    struct Batch {
+      std::size_t tenant = 0;
+      std::size_t group = 0;
+      std::vector<Request> requests;
+    };
+    std::vector<Batch> batches;
+    task::GraphBuilder builder;
+    std::vector<std::pair<std::size_t, std::size_t>> tag_slot;  // batch, pos
+    for (const std::size_t i : order) {
+      TenantState& st = *states[i];
+      if (st.queue.empty()) continue;
+      Batch b;
+      b.tenant = i;
+      b.group = builder.begin_group(manager.tenant(i).name);
+      while (!st.queue.empty() && b.requests.size() < options.max_batch) {
+        Request r = st.queue.front();
+        st.queue.pop_front();
+        manager.tenant(i).service->append_request(builder, next_tag++,
+                                                  *st.work_rng);
+        tag_slot.emplace_back(batches.size(), b.requests.size());
+        b.requests.push_back(r);
+      }
+      batches.push_back(std::move(b));
+    }
+    if (batches.empty()) {
+      clock += options.epoch_seconds;
+      continue;
+    }
+
+    const task::TaskGraph graph = builder.build();
+    task::SimExecutor::Options sim_opts;
+    sim_opts.workers = options.workers;
+    sim_opts.unit_size = [&manager](hms::ObjectId id, std::size_t chunk) {
+      return manager.unit_bytes(id, chunk);
+    };
+    sim_opts.tracer = options.tracer;
+    sim_opts.trace_time_offset = clock;
+    const task::SimReport sim =
+        executor.run(graph, machine, placement, {}, sim_opts);
+
+    // Per-request service time via the request tags the services stamped.
+    const std::uint64_t epoch_base = next_tag - tag_slot.size();
+    std::vector<double> service_of(tag_slot.size(), 0.0);
+    for (const task::Task& t : graph.tasks()) {
+      if (t.request == task::kNoRequest) continue;
+      TAHOE_ASSERT(t.request >= epoch_base &&
+                       t.request - epoch_base < service_of.size(),
+                   "request tag outside this epoch");
+      service_of[t.request - epoch_base] += sim.task_seconds[t.id];
+    }
+
+    for (std::size_t s = 0; s < tag_slot.size(); ++s) {
+      const auto [bi, pos] = tag_slot[s];
+      const Batch& b = batches[bi];
+      TenantState& st = *states[b.tenant];
+      const Request& r = b.requests[pos];
+      const double start = clock + sim.group_start[b.group];
+      const double done =
+          clock + sim.group_start[b.group] + sim.group_seconds[b.group];
+      record(st.queue_wait, st.global_queue, start - r.arrival);
+      record(st.request_latency, st.global_request, done - r.arrival);
+      record(st.service_time, st.global_service, service_of[s]);
+      ++st.completed;
+    }
+
+    report.iteration_seconds.push_back(sim.makespan);
+    report.compute_seconds += sim.makespan;
+    report.tasks_executed += graph.num_tasks();
+    // Open loop: a saturated epoch pushes the clock past its quantum and
+    // the backlog grows — the overload signature.
+    clock += std::max(options.epoch_seconds, sim.makespan);
+  }
+
+  // Whatever arrived before the horizon but never got served counts as
+  // dropped (still queued at shutdown).
+  for (auto& st : states) {
+    for (Request& r : st->source->drain_until(options.duration_seconds)) {
+      st->queue.push_back(r);
+    }
+  }
+
+  const hms::ObjectRegistry& registry = manager.registry();
+  const hms::MigrationStats& stats = registry.stats();
+  report.migrations = stats.migrations;
+  report.bytes_moved = stats.bytes_moved;
+  report.failed_no_space = stats.failed_no_space;
+  const auto fast = static_cast<memsim::DeviceId>(machine.fastest_tier());
+  for (std::size_t i = 0; i < manager.size(); ++i) {
+    const TenantConfig& cfg = manager.tenant(i);
+    const TenantState& st = *states[i];
+    core::TenantReportRow row;
+    row.name = cfg.name;
+    row.priority = cfg.priority;
+    row.quota_bytes = result.plan.quota_bytes[i];
+    row.fast_bytes =
+        registry.resident_bytes_owned(static_cast<hms::OwnerId>(i), fast);
+    row.total_bytes = registry.total_bytes_owned(static_cast<hms::OwnerId>(i));
+    row.requests = st.completed;
+    row.dropped = st.queue.size();
+    row.request_latency = st.request_latency.snapshot();
+    row.queue_wait = st.queue_wait.snapshot();
+    row.service_time = st.service_time.snapshot();
+    report.tenants.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace tahoe::serve

@@ -1,0 +1,63 @@
+// Open-loop request generation for the serving subsystem.
+//
+// An OpenLoopSource emits one tenant's request stream with exponential
+// inter-arrival times at a configured rate, drawn from a seeded Rng — the
+// open-loop discipline: arrivals never wait for completions, so an
+// overloaded server accumulates queue depth instead of silently throttling
+// the offered load. All timestamps are virtual seconds on the serve
+// driver's clock, which is what keeps same-seed runs byte-reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace tahoe::serve {
+
+struct Request {
+  std::uint64_t id = 0;       ///< per-tenant sequence number
+  std::uint32_t tenant = 0;
+  double arrival = 0.0;       ///< virtual seconds
+};
+
+class OpenLoopSource {
+ public:
+  OpenLoopSource(std::uint32_t tenant, double rate_hz, std::uint64_t seed)
+      : rng_(seed), rate_(rate_hz), tenant_(tenant) {
+    TAHOE_REQUIRE(rate_hz > 0.0, "arrival rate must be positive");
+  }
+
+  /// Every request with arrival < `t`, in arrival order. The stream is
+  /// unbounded; successive calls continue where the previous one stopped.
+  std::vector<Request> drain_until(double t) {
+    std::vector<Request> out;
+    if (!has_pending_) advance();
+    while (pending_.arrival < t) {
+      out.push_back(pending_);
+      advance();
+    }
+    return out;
+  }
+
+ private:
+  void advance() {
+    // Exponential inter-arrival; 1 - u in (0, 1] keeps log() finite.
+    const double u = rng_.next_double();
+    clock_ += -std::log(1.0 - u) / rate_;
+    pending_ = Request{next_id_++, tenant_, clock_};
+    has_pending_ = true;
+  }
+
+  Rng rng_;
+  double rate_ = 0.0;
+  std::uint32_t tenant_ = 0;
+  std::uint64_t next_id_ = 0;
+  double clock_ = 0.0;
+  Request pending_;
+  bool has_pending_ = false;
+};
+
+}  // namespace tahoe::serve

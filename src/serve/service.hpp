@@ -1,0 +1,97 @@
+// Serving workloads: request-shaped task DAG factories.
+//
+// A Service owns one tenant's data objects and turns each incoming request
+// into tasks appended to the current graph group, declaring ground-truth
+// ObjectTraffic exactly like the iterative workloads do. It also exposes a
+// per-unit heat profile (expected bytes touched per request) that the
+// TenantManager converts into fast-tier promotion values.
+//
+// Three services cover the serving spectrum the evaluation needs:
+//  * KvService:    sharded KV/cache lookups with Zipfian key popularity and
+//                  values spanning chunk boundaries — latency-sensitive,
+//                  dependence-heavy probing with poor spatial locality;
+//  * GraphService: a graph-analytics pass with irregular reuse — hot vertex
+//                  state plus randomly-touched adjacency chunks;
+//  * TensorService: a batch-inference pipeline streaming layer weights in
+//                  order — bandwidth-bound, chained through activations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/profiles.hpp"
+#include "hms/registry.hpp"
+#include "task/graph.hpp"
+
+namespace tahoe::serve {
+
+/// Expected per-request traffic of one placement unit (object chunk).
+struct UnitHeat {
+  core::UnitKey unit;
+  std::uint64_t bytes = 0;          ///< unit size (knapsack weight)
+  double bytes_per_request = 0.0;   ///< expected bytes touched per request
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  virtual std::string kind() const = 0;
+
+  /// Allocate the service's data objects on the registry (all chunks start
+  /// on the capacity tier, the default home). Called exactly once.
+  virtual void provision(hms::ObjectRegistry& reg) = 0;
+
+  /// Per-unit expected traffic, for planning. Requires provision().
+  virtual std::vector<UnitHeat> heat() const = 0;
+
+  /// Objects created by provision(), for owner tagging and accounting.
+  virtual const std::vector<hms::ObjectId>& objects() const = 0;
+
+  /// Append the tasks serving one request to the currently-open group,
+  /// tagging each task with `request_tag`. `rng` is the tenant's workload
+  /// stream (key choice, frontier choice) — seeded, so deterministic.
+  virtual void append_request(task::GraphBuilder& builder,
+                              std::uint64_t request_tag, Rng& rng) const = 0;
+};
+
+struct KvConfig {
+  std::string prefix = "kv";
+  std::size_t shards = 2;
+  std::size_t chunks_per_shard = 8;
+  std::uint64_t chunk_bytes = 1u << 20;
+  std::size_t keys = 4096;
+  double zipf_s = 1.1;
+  std::size_t ops_per_request = 8;
+  std::uint64_t value_bytes = 16u << 10;
+  double write_frac = 0.1;
+  double compute_seconds = 20e-6;  ///< per-request pure compute
+};
+
+struct GraphConfig {
+  std::string prefix = "graph";
+  std::uint64_t vertex_bytes = 8u << 20;
+  std::size_t vertex_chunks = 8;
+  std::uint64_t adj_bytes = 32u << 20;
+  std::size_t adj_chunks = 16;
+  std::size_t frontier_chunks = 4;  ///< adjacency chunks touched per request
+  double vertex_touch_frac = 0.5;   ///< fraction of vertex state touched
+  double compute_seconds = 50e-6;
+};
+
+struct TensorConfig {
+  std::string prefix = "tensor";
+  std::size_t layers = 6;
+  std::uint64_t layer_bytes = 8u << 20;
+  std::uint64_t activation_bytes = 1u << 20;
+  double compute_per_layer = 100e-6;
+};
+
+std::unique_ptr<Service> make_kv_service(KvConfig config);
+std::unique_ptr<Service> make_graph_service(GraphConfig config);
+std::unique_ptr<Service> make_tensor_service(TensorConfig config);
+
+}  // namespace tahoe::serve

@@ -1,0 +1,91 @@
+#include "serve/tenant.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace tahoe::serve {
+namespace {
+
+std::vector<std::uint64_t> tier_capacities(const memsim::Machine& machine) {
+  std::vector<std::uint64_t> caps;
+  caps.reserve(machine.num_tiers());
+  for (std::size_t t = 0; t < machine.num_tiers(); ++t) {
+    caps.push_back(machine.tier(static_cast<memsim::TierId>(t)).capacity);
+  }
+  return caps;
+}
+
+}  // namespace
+
+TenantManager::TenantManager(const memsim::Machine& machine)
+    : machine_(machine),
+      registry_(tier_capacities(machine), hms::Backing::Virtual) {}
+
+hms::OwnerId TenantManager::add(TenantConfig config) {
+  TAHOE_REQUIRE(config.service != nullptr, "tenant without a service");
+  TAHOE_REQUIRE(config.priority > 0.0, "tenant priority must be positive");
+  const auto owner = static_cast<hms::OwnerId>(tenants_.size());
+  config.service->provision(registry_);
+  for (const hms::ObjectId id : config.service->objects()) {
+    registry_.set_owner(id, owner);
+  }
+  tenants_.push_back(std::move(config));
+  return owner;
+}
+
+core::TenantPlacementPlan TenantManager::plan(bool enforce_quotas) const {
+  const memsim::DeviceModel& fast = machine_.tier(machine_.fastest_tier());
+  const memsim::DeviceModel& cap = machine_.tier(machine_.capacity_tier());
+  TAHOE_REQUIRE(fast.read_bw > 0.0 && cap.read_bw > 0.0,
+                "machine tiers need bandwidth numbers");
+  const double saved_per_byte = 1.0 / cap.read_bw - 1.0 / fast.read_bw;
+
+  std::vector<core::TenantDemand> demands;
+  demands.reserve(tenants_.size());
+  for (const TenantConfig& t : tenants_) {
+    core::TenantDemand d;
+    d.name = t.name;
+    d.priority = t.priority;
+    d.quota_bytes = t.quota_bytes;
+    for (const UnitHeat& h : t.service->heat()) {
+      core::TenantUnitCandidate c;
+      c.unit = h.unit;
+      c.bytes = h.bytes;
+      c.value = h.bytes_per_request * t.arrival_hz * saved_per_byte;
+      d.candidates.push_back(c);
+    }
+    demands.push_back(std::move(d));
+  }
+  const std::uint64_t fast_capacity =
+      machine_.tier(machine_.fastest_tier()).capacity;
+  return core::plan_tenants(demands, fast_capacity, enforce_quotas);
+}
+
+void TenantManager::apply(const core::TenantPlacementPlan& plan,
+                          hms::PlacementMap& placement) {
+  TAHOE_REQUIRE(plan.promoted.size() == tenants_.size(),
+                "plan does not match registered tenants");
+  const auto fast = static_cast<memsim::DeviceId>(machine_.fastest_tier());
+  for (const auto& units : plan.promoted) {
+    for (const core::UnitKey& u : units) {
+      const bool ok = registry_.migrate_chunk(u.object, u.chunk, fast);
+      TAHOE_ASSERT(ok, "planned promotion exceeded the fast tier");
+    }
+  }
+  // Mirror the authoritative registry residency (promoted or not) into the
+  // simulator's placement map.
+  for (const hms::ObjectId id : registry_.live_objects()) {
+    const hms::DataObject& obj = registry_.get(id);
+    for (std::size_t c = 0; c < obj.num_chunks(); ++c) {
+      placement.set(id, c, obj.chunks[c].device);
+    }
+  }
+}
+
+std::uint64_t TenantManager::unit_bytes(hms::ObjectId id,
+                                        std::size_t chunk) const {
+  return registry_.get(id).chunks.at(chunk).bytes;
+}
+
+}  // namespace tahoe::serve

@@ -1,0 +1,74 @@
+// TenantManager: N concurrent applications sharing one machine.
+//
+// Each tenant bundles a Service (its data + request shape), a priority, an
+// optional hard DRAM quota, and an offered arrival rate. The manager
+// provisions every service against one shared ObjectRegistry (tagging
+// object owners for per-tenant accounting), converts service heat into
+// fast-tier promotion values, and plans residency either as a multi-tenant
+// knapsack with per-tenant capacity rows (QoS mode) or as one shared
+// tenant-blind knapsack (the quota-free baseline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "hms/placement.hpp"
+#include "hms/registry.hpp"
+#include "memsim/machine.hpp"
+#include "serve/service.hpp"
+
+namespace tahoe::serve {
+
+struct TenantConfig {
+  std::string name;
+  double priority = 1.0;
+  /// Hard fast-tier cap in bytes; 0 derives the row from the priority
+  /// share (core::derive_tenant_quotas).
+  std::uint64_t quota_bytes = 0;
+  double arrival_hz = 100.0;     ///< offered open-loop request rate
+  std::uint64_t seed = 1;        ///< arrival + workload stream seed
+  std::unique_ptr<Service> service;
+};
+
+class TenantManager {
+ public:
+  /// Builds a Virtual-backed registry sized from the machine's tiers —
+  /// serving runs are simulation-only, so payloads are never allocated.
+  explicit TenantManager(const memsim::Machine& machine);
+
+  /// Register and provision one tenant; returns its OwnerId (the index).
+  hms::OwnerId add(TenantConfig config);
+
+  std::size_t size() const noexcept { return tenants_.size(); }
+  const TenantConfig& tenant(std::size_t i) const { return tenants_.at(i); }
+
+  hms::ObjectRegistry& registry() noexcept { return registry_; }
+  const memsim::Machine& machine() const noexcept { return machine_; }
+
+  /// Plan fast-tier residency for all tenants. Promotion value of a unit
+  /// is its expected traffic (bytes/request x arrival rate) times the
+  /// bandwidth-time saved per byte between the capacity and fastest tier —
+  /// a deliberately throughput-shaped model: quota-free planning maximizes
+  /// it globally, which is exactly how a latency-sensitive tenant gets
+  /// starved without QoS rows.
+  core::TenantPlacementPlan plan(bool enforce_quotas) const;
+
+  /// Enforce a plan: migrate promoted chunks to the fastest tier through
+  /// the registry (exercising per-owner migration accounting) and mirror
+  /// the full per-chunk residency into `placement` for the simulator.
+  void apply(const core::TenantPlacementPlan& plan,
+             hms::PlacementMap& placement);
+
+  /// Chunk-size oracle for SimExecutor's capacity invariant.
+  std::uint64_t unit_bytes(hms::ObjectId id, std::size_t chunk) const;
+
+ private:
+  const memsim::Machine& machine_;
+  hms::ObjectRegistry registry_;
+  std::vector<TenantConfig> tenants_;
+};
+
+}  // namespace tahoe::serve

@@ -1,0 +1,40 @@
+#include "serve/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace tahoe::serve {
+
+Zipf::Zipf(std::size_t n, double s) : s_(s) {
+  TAHOE_REQUIRE(n > 0, "Zipf needs at least one rank");
+  TAHOE_REQUIRE(s >= 0.0, "Zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift at the tail
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.next_double();  // [0, 1)
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Zipf::cdf(std::size_t k) const {
+  TAHOE_REQUIRE(k < cdf_.size(), "Zipf::cdf rank out of range");
+  return cdf_[k];
+}
+
+double Zipf::pmf(std::size_t k) const {
+  TAHOE_REQUIRE(k < cdf_.size(), "Zipf::pmf rank out of range");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace tahoe::serve

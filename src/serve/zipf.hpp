@@ -1,0 +1,39 @@
+// Zipfian rank distribution for serving-workload key popularity.
+//
+// P[X = k] is proportional to 1/(k+1)^s over ranks k in [0, n). The CDF is
+// precomputed once (O(n)) and sampling is an inverse-CDF binary search
+// (O(log n)), drawing from the repo's deterministic Rng so same-seed runs
+// produce identical key streams. The analytic CDF is exposed so tests can
+// compare the empirical distribution against it directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace tahoe::serve {
+
+class Zipf {
+ public:
+  /// `n` ranks with exponent `s` (s = 0 degenerates to uniform).
+  Zipf(std::size_t n, double s);
+
+  /// Draw one rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  /// Analytic CDF: P[X <= k]. Requires k < size().
+  double cdf(std::size_t k) const;
+
+  /// Analytic PMF: P[X = k]. Requires k < size().
+  double pmf(std::size_t k) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return s_; }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P[X <= k]; back() == 1.0
+  double s_ = 0.0;
+};
+
+}  // namespace tahoe::serve

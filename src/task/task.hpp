@@ -26,6 +26,11 @@ inline constexpr std::size_t kAllChunks = std::numeric_limits<std::size_t>::max(
 
 enum class AccessMode : std::uint8_t { Read, Write, ReadWrite };
 
+/// Serving-request tag carried by tasks spawned on behalf of an external
+/// request (src/serve/); kNoRequest for ordinary DAG tasks.
+inline constexpr std::uint64_t kNoRequest =
+    std::numeric_limits<std::uint64_t>::max();
+
 struct DataAccess {
   hms::ObjectId object = hms::kInvalidObject;
   /// Specific chunk, or kAllChunks for the whole object.
@@ -46,6 +51,10 @@ struct Task {
   std::vector<DataAccess> accesses;
   /// Optional real kernel; empty for model-only (timing) runs.
   std::function<void()> work;
+  /// Serving request this task belongs to, or kNoRequest. The serve
+  /// driver maps per-task service time back to request latency through
+  /// this tag.
+  std::uint64_t request = kNoRequest;
 };
 
 }  // namespace tahoe::task

@@ -182,6 +182,32 @@ Analysis analyze(const JsonValue& trace_doc, const JsonValue* report,
         if (t.is_string()) a.tier_names.push_back(t.string);
       }
     }
+    // Schema-v4 serving reports carry a per-tenant section.
+    if (report->has("tenants") && report->at("tenants").is_array()) {
+      const auto digest_u64 = [](const JsonValue& obj, const char* digest,
+                                 const char* field) -> std::uint64_t {
+        if (!obj.has(digest) || !obj.at(digest).is_object()) return 0;
+        return static_cast<std::uint64_t>(num_or(obj.at(digest), field));
+      };
+      for (const JsonValue& t : report->at("tenants").array) {
+        if (!t.is_object()) continue;
+        TenantAnalysisRow row;
+        row.name = str_or(t, "name");
+        row.priority = num_or(t, "priority");
+        row.quota_bytes = static_cast<std::uint64_t>(num_or(t, "quota_bytes"));
+        row.fast_bytes = static_cast<std::uint64_t>(num_or(t, "fast_bytes"));
+        row.total_bytes = static_cast<std::uint64_t>(num_or(t, "total_bytes"));
+        row.requests = static_cast<std::uint64_t>(num_or(t, "requests"));
+        row.dropped = static_cast<std::uint64_t>(num_or(t, "dropped"));
+        row.latency_p50_ns = digest_u64(t, "request_latency", "p50");
+        row.latency_p99_ns = digest_u64(t, "request_latency", "p99");
+        row.queue_p50_ns = digest_u64(t, "queue_wait", "p50");
+        row.queue_p99_ns = digest_u64(t, "queue_wait", "p99");
+        row.service_p50_ns = digest_u64(t, "service_time", "p50");
+        row.service_p99_ns = digest_u64(t, "service_time", "p99");
+        a.tenant_rows.push_back(std::move(row));
+      }
+    }
   }
 
   // ---- placement rationale (final plan) ------------------------------
@@ -290,6 +316,29 @@ void write_analysis_json(std::ostream& os, const Analysis& a) {
       for (const std::string& n : a.tier_names) w.value(n);
       w.end_array();
     }
+    // Emitted only for serving (schema-v4) reports, so analyses of v2/v3
+    // artifacts stay byte-identical to what they were before tenancy.
+    if (!a.tenant_rows.empty()) {
+      w.key("tenants").begin_array();
+      for (const TenantAnalysisRow& t : a.tenant_rows) {
+        w.begin_object();
+        w.kv("name", t.name);
+        w.kv("priority", t.priority);
+        w.kv("quota_bytes", t.quota_bytes);
+        w.kv("fast_bytes", t.fast_bytes);
+        w.kv("total_bytes", t.total_bytes);
+        w.kv("requests", t.requests);
+        w.kv("dropped", t.dropped);
+        w.kv("latency_p50_ns", t.latency_p50_ns);
+        w.kv("latency_p99_ns", t.latency_p99_ns);
+        w.kv("queue_p50_ns", t.queue_p50_ns);
+        w.kv("queue_p99_ns", t.queue_p99_ns);
+        w.kv("service_p50_ns", t.service_p50_ns);
+        w.kv("service_p99_ns", t.service_p99_ns);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   if (a.has_explain) {
@@ -359,6 +408,26 @@ void write_analysis_tables(std::ostream& os, const Analysis& a) {
     for (const WorkerUtilization& u : a.workers) {
       t.add_row({u.name, std::to_string(u.tasks),
                  Table::num(u.busy_seconds, 6), Table::num(u.utilization, 4)});
+    }
+    t.print(os);
+  }
+  if (!a.tenant_rows.empty()) {
+    os << "\nTenants (serving report)\n";
+    Table t({"tenant", "prio", "quota MiB", "fast MiB", "total MiB", "reqs",
+             "queued", "lat p50 ms", "lat p99 ms", "wait p99 ms",
+             "svc p99 ms"});
+    const auto mib = [](std::uint64_t bytes) {
+      return Table::num(static_cast<double>(bytes) / (1024.0 * 1024.0));
+    };
+    const auto ms = [](std::uint64_t ns) {
+      return Table::num(static_cast<double>(ns) / 1e6, 3);
+    };
+    for (const TenantAnalysisRow& r : a.tenant_rows) {
+      t.add_row({r.name, Table::num(r.priority), mib(r.quota_bytes),
+                 mib(r.fast_bytes), mib(r.total_bytes),
+                 std::to_string(r.requests), std::to_string(r.dropped),
+                 ms(r.latency_p50_ns), ms(r.latency_p99_ns),
+                 ms(r.queue_p99_ns), ms(r.service_p99_ns)});
     }
     t.print(os);
   }

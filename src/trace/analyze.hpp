@@ -51,6 +51,25 @@ struct RationaleRow {
   std::string reason;
 };
 
+/// Per-tenant serving digest echoed from a schema-v4 report's "tenants"
+/// section (multi-tenant serving runs; empty otherwise). Latencies are in
+/// nanoseconds, as recorded.
+struct TenantAnalysisRow {
+  std::string name;
+  double priority = 0.0;
+  std::uint64_t quota_bytes = 0;
+  std::uint64_t fast_bytes = 0;   ///< resident on the fastest tier
+  std::uint64_t total_bytes = 0;  ///< total provisioned footprint
+  std::uint64_t requests = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+  std::uint64_t queue_p50_ns = 0;
+  std::uint64_t queue_p99_ns = 0;
+  std::uint64_t service_p50_ns = 0;
+  std::uint64_t service_p99_ns = 0;
+};
+
 struct Analysis {
   // Trace metadata.
   std::uint64_t schema_version = 0;
@@ -91,6 +110,9 @@ struct Analysis {
   double report_overlap_fraction = 0.0;
   /// Tier names from a v3 document ("tiers"); empty for v2.
   std::vector<std::string> tier_names;
+  /// Per-tenant serving rows from a v4 document ("tenants"); empty for
+  /// v2/v3 reports and non-serving runs.
+  std::vector<TenantAnalysisRow> tenant_rows;
 
   // From the explain document's last plan (when provided).
   bool has_explain = false;
