@@ -49,7 +49,11 @@ SimReport SimExecutor::run(const TaskGraph& graph,
           : nullptr;
   const double t0 = options.trace_time_offset;
 
-  memsim::FluidSim sim(machine.devices.size());
+  memsim::FluidSim::Tuning sim_tuning;
+  if (options.sim_lazy_threshold != 0) {
+    sim_tuning.lazy_threshold = options.sim_lazy_threshold;
+  }
+  memsim::FluidSim sim(machine.devices.size(), sim_tuning);
   SimReport report;
   report.group_seconds.assign(graph.num_groups(), 0.0);
   report.group_start.assign(graph.num_groups(), 0.0);
@@ -66,6 +70,21 @@ SimReport SimExecutor::run(const TaskGraph& graph,
   std::deque<std::size_t> copy_fifo;
   std::size_t in_flight_copy = schedule.size();  // sentinel: none
   std::map<memsim::FlowId, std::size_t> copy_flow_to_idx;
+
+  // Group-indexed views of the schedule so entering a group touches only
+  // its own copies instead of rescanning the whole schedule (which made
+  // large sweep scenarios quadratic in the schedule length). Order within
+  // a group is schedule order, preserving the firing FIFO semantics.
+  std::vector<std::vector<std::size_t>> fired_at(graph.num_groups());
+  std::vector<std::vector<std::size_t>> needed_at(graph.num_groups());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (schedule[i].trigger_group < graph.num_groups()) {
+      fired_at[schedule[i].trigger_group].push_back(i);
+    }
+    if (schedule[i].needed_group < graph.num_groups()) {
+      needed_at[schedule[i].needed_group].push_back(i);
+    }
+  }
 
   // Attribution tables (std::map keeps the dump order deterministic).
   std::map<std::tuple<GroupId, hms::ObjectId, memsim::DeviceId>, AccessTally>
@@ -243,8 +262,8 @@ SimReport SimExecutor::run(const TaskGraph& graph,
     const Group& grp = graph.group(g);
 
     // Fire copies triggered at this group's entry, in schedule order.
-    for (std::size_t i = 0; i < schedule.size(); ++i) {
-      if (schedule[i].trigger_group == g && !copy_state[i].fired) {
+    for (const std::size_t i : fired_at[g]) {
+      if (!copy_state[i].fired) {
         copy_state[i].fired = true;
         copy_fifo.push_back(i);
       }
@@ -253,11 +272,8 @@ SimReport SimExecutor::run(const TaskGraph& graph,
 
     // Wait for the copies this group needs (stall = exposed move cost).
     auto needed_pending = [&]() {
-      for (std::size_t i = 0; i < schedule.size(); ++i) {
-        if (schedule[i].needed_group == g && copy_state[i].fired &&
-            !copy_state[i].done) {
-          return true;
-        }
+      for (const std::size_t i : needed_at[g]) {
+        if (copy_state[i].fired && !copy_state[i].done) return true;
       }
       return false;
     };

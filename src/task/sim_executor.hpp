@@ -104,6 +104,11 @@ class SimExecutor {
     /// per-object attribution). Off by default: it costs a map insertion
     /// per task access.
     bool attribution = false;
+    /// Override for memsim::FluidSim::Tuning::lazy_threshold — the active
+    /// flow count above which the simulator switches from the exact scan
+    /// core to the indexed engine. 0 keeps the library default (which
+    /// keeps paper-scale runs on the golden-pinned exact arithmetic).
+    std::size_t sim_lazy_threshold = 0;
   };
 
   /// Execute and return the timing report. `placement` is consumed as the
