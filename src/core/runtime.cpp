@@ -673,7 +673,8 @@ RunReport Runtime::run_real_report(
   eopts.mode = hms::MigrationEngine::Mode::HelperThread;
   eopts.max_retries = config_.migration_max_retries;
   hms::MigrationEngine engine(*state.registry, eopts);
-  task::Executor executor(workers);
+  const std::unique_ptr<task::IExecutor> executor =
+      task::make_executor(config_.executor_backend, workers);
   const double deadline = config_.migration_wait_deadline_seconds;
 
   for (std::size_t iter = 0; iter < app.iterations(); ++iter) {
@@ -685,7 +686,7 @@ RunReport Runtime::run_real_report(
     // iteration's promotions (see compute_tier_hints).
     const std::vector<task::TierHint> hints =
         compute_tier_hints(graph, *state.registry, schedule);
-    executor.run(graph, [&](task::GroupId g) {
+    executor->run(graph, [&](task::GroupId g) {
       // Fire this group's proactive copies, then wait for the ones the
       // group needs — the paper's phase-boundary protocol. With a deadline
       // configured, a stalled helper cannot hold the application hostage:
@@ -731,7 +732,7 @@ RunReport Runtime::run_real_report(
   report.migrations_cancelled = engine.cancelled();
   report.plans_degraded = engine.degraded_objects().size();
   report.faults_injected = fault::global().total_injected() - faults_before;
-  report.tasks_executed = executor.stats().tasks_run;
+  report.tasks_executed = executor->stats().tasks_run;
   return report;
 }
 

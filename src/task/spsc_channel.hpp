@@ -1,0 +1,100 @@
+// Bounded single-producer/single-consumer channel.
+//
+// The channel-based executor (channel_executor.hpp) communicates through
+// explicit messages instead of shared concurrent deques: steal *requests*
+// and task-batch *replies* travel over these channels, and the run()
+// caller scatters group activations into per-worker inbox channels. Every
+// channel has exactly one producer and one consumer *at a time*, which is
+// all an SPSC ring needs: the producer owns `tail_`, the consumer owns
+// `head_`, and a release store on the owned index publishes the slot to
+// the other side.
+//
+// The producer identity MAY change over the channel's lifetime (a thief's
+// reply channel is written by whichever victim answers its current
+// request) as long as successive producers are ordered by some external
+// happens-before chain — here the request/reply protocol itself: victim B
+// only writes after receiving a request the thief sent after consuming
+// victim A's reply. The acquire load of `tail_` in try_send() then
+// observes A's final value. The same holds symmetrically for consumers.
+//
+// T must be trivially copyable: slots are plain storage whose accesses are
+// ordered exclusively through the index atomics (this is what keeps the
+// structure ThreadSanitizer-clean without annotations).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "common/assert.hpp"
+
+namespace tahoe::task {
+
+template <typename T>
+class SpscChannel {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscChannel slots are synchronized only through the "
+                "head/tail indices");
+
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscChannel(std::size_t capacity)
+      : capacity_(round_up_pow2(capacity)),
+        mask_(capacity_ - 1),
+        slots_(new T[capacity_]) {}
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  /// Producer only. Returns false when the channel is full.
+  bool try_send(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= capacity_) return false;
+    slots_[tail & mask_] = value;
+    // Publishes the slot write above to the consumer's acquire load.
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. Returns false when the channel is empty.
+  bool try_recv(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = slots_[head & mask_];
+    // Releases the slot back to the producer.
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy occupancy estimate (exact when quiescent).
+  std::size_t size_approx() const noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    TAHOE_REQUIRE(n >= 1, "channel capacity must be at least 1");
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<T[]> slots_;
+  // Consumer-owned and producer-owned cursors on separate cache lines so
+  // the two sides do not false-share.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace tahoe::task

@@ -1,0 +1,199 @@
+// Channel-executor specifics: steal-request accounting, forced and
+// adaptive steal modes, and stress. Backend-agnostic behavior (graph
+// semantics, barriers, hints) is covered for both backends in
+// test_executor.cpp via the IExecutor parameterization.
+#include "task/channel_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace tahoe::task {
+namespace {
+
+DataAccess acc(hms::ObjectId obj, AccessMode mode) {
+  DataAccess a;
+  a.object = obj;
+  a.mode = mode;
+  a.traffic.loads = 1;
+  a.traffic.footprint = 64;
+  return a;
+}
+
+TaskGraph flat_graph(int tasks, std::atomic<int>& count) {
+  GraphBuilder gb;
+  gb.begin_group("g");
+  for (int i = 0; i < tasks; ++i) {
+    Task t;
+    t.accesses = {acc(static_cast<hms::ObjectId>(i), AccessMode::Write)};
+    t.work = [&count]() { count.fetch_add(1, std::memory_order_relaxed); };
+    gb.add_task(std::move(t));
+  }
+  return gb.build();
+}
+
+TEST(ChannelExecutor, RejectsBadOptions) {
+  ChannelExecutor::Options opts;
+  opts.adapt_window = 0;
+  EXPECT_THROW(ChannelExecutor(2, opts), ContractError);
+}
+
+TEST(ChannelExecutor, RequestAccountingIsConsistent) {
+  std::atomic<int> count{0};
+  const TaskGraph g = flat_graph(300, count);
+  ChannelExecutor ex(4);
+  ex.run(g);
+  EXPECT_EQ(count.load(), 300);
+  const ExecutorStats& s = ex.stats();
+  EXPECT_EQ(s.tasks_run, 300u);
+  EXPECT_EQ(s.pops + s.steals + s.inject_takes, 300u);
+  // Every reply is either a grant or a decline; at most one request per
+  // worker can still be in flight when the run's snapshot is taken.
+  EXPECT_GE(s.steal_requests, s.steals + s.steal_declines);
+  EXPECT_LE(s.steal_requests,
+            s.steals + s.steal_declines + ex.num_workers());
+}
+
+TEST(ChannelExecutor, ForcedStealOneNeverBatches) {
+  ChannelExecutor::Options opts;
+  opts.initial_mode = StealMode::kOne;
+  opts.adaptive = false;
+  std::atomic<int> count{0};
+  const TaskGraph g = flat_graph(400, count);
+  ChannelExecutor ex(4, opts);
+  ex.run(g);
+  EXPECT_EQ(count.load(), 400);
+  EXPECT_EQ(ex.stats().steal_halves, 0u);
+  EXPECT_EQ(ex.stats().mode_switches, 0u);
+  for (unsigned w = 0; w < ex.num_workers(); ++w) {
+    EXPECT_EQ(ex.steal_mode(w), StealMode::kOne);
+  }
+  // Steal-one: every enqueue is unique, so pushes match the task count
+  // exactly (only steal-half re-enqueues batch tails).
+  EXPECT_EQ(ex.stats().pushes, 400u);
+}
+
+TEST(ChannelExecutor, ForcedStealHalfStaysInHalfMode) {
+  ChannelExecutor::Options opts;
+  opts.initial_mode = StealMode::kHalf;
+  opts.adaptive = false;
+  std::atomic<int> count{0};
+  const TaskGraph g = flat_graph(400, count);
+  ChannelExecutor ex(4, opts);
+  ex.run(g);
+  EXPECT_EQ(count.load(), 400);
+  EXPECT_EQ(ex.stats().mode_switches, 0u);
+  for (unsigned w = 0; w < ex.num_workers(); ++w) {
+    EXPECT_EQ(ex.steal_mode(w), StealMode::kHalf);
+  }
+  // Identity still holds: batch tails count as pushes, later taken as pops.
+  const ExecutorStats& s = ex.stats();
+  EXPECT_EQ(s.pops + s.steals + s.inject_takes, 400u);
+  EXPECT_GE(s.pushes, 400u);
+}
+
+TEST(ChannelExecutor, AdaptiveControllerSwitchesToHalfUnderScarcity) {
+  // A serial chain keeps exactly one task runnable: every steal request
+  // from the three idle workers comes back declined (or moves the single
+  // task), so their decline rate crosses the steal-half threshold within
+  // a few adaptation windows.
+  ChannelExecutor::Options opts;
+  opts.initial_mode = StealMode::kOne;
+  opts.adaptive = true;
+  opts.adapt_window = 4;
+  GraphBuilder gb;
+  gb.begin_group("g");
+  std::atomic<int> n{0};
+  for (int i = 0; i < 300; ++i) {
+    Task t;
+    t.accesses = {acc(1, AccessMode::ReadWrite)};  // serial chain
+    t.work = [&n]() {
+      n.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    };
+    gb.add_task(std::move(t));
+  }
+  const TaskGraph g = gb.build();
+  ChannelExecutor ex(4, opts);
+  ex.run(g);
+  EXPECT_EQ(n.load(), 300);
+  EXPECT_GE(ex.stats().mode_switches, 1u);
+  unsigned in_half = 0;
+  for (unsigned w = 0; w < ex.num_workers(); ++w) {
+    if (ex.steal_mode(w) == StealMode::kHalf) ++in_half;
+  }
+  EXPECT_GE(in_half, 1u);
+}
+
+TEST(ChannelExecutor, ReusableAcrossRunsWithStealHalf) {
+  ChannelExecutor::Options opts;
+  opts.initial_mode = StealMode::kHalf;
+  opts.adaptive = false;
+  ChannelExecutor ex(4, opts);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    const TaskGraph g = flat_graph(100, count);
+    ex.run(g);
+    EXPECT_EQ(count.load(), 100);
+  }
+  EXPECT_EQ(ex.stats().tasks_run, 500u);
+  EXPECT_EQ(ex.stats().pops + ex.stats().steals + ex.stats().inject_takes,
+            500u);
+}
+
+TEST(ChannelExecutor, SmallInboxesStillDrainEverything) {
+  // Inbox capacity far below the group size: the caller's scatter loop has
+  // to wait for workers to drain, and victims must serve inbox tasks to
+  // thieves. Everything still runs exactly once.
+  ChannelExecutor::Options opts;
+  opts.inbox_capacity = 2;
+  std::atomic<int> count{0};
+  const TaskGraph g = flat_graph(500, count);
+  ChannelExecutor ex(4, opts);
+  ex.run(g);
+  EXPECT_EQ(count.load(), 500);
+  EXPECT_EQ(ex.stats().tasks_run, 500u);
+  EXPECT_EQ(ex.stats().pops + ex.stats().steals + ex.stats().inject_takes,
+            500u);
+}
+
+TEST(ChannelExecutor, WideDagStress) {
+  // Alternating fan-out/fan-in layers with many workers; all tasks run,
+  // accounting stays exact across the steal traffic.
+  GraphBuilder gb;
+  std::atomic<int> count{0};
+  constexpr int kLayers = 6;
+  constexpr int kWidth = 64;
+  for (int layer = 0; layer < kLayers; ++layer) {
+    gb.begin_group("l" + std::to_string(layer));
+    for (int i = 0; i < kWidth; ++i) {
+      Task t;
+      if (layer % 2 == 0) {
+        t.accesses = {acc(0, AccessMode::Read),
+                      acc(static_cast<hms::ObjectId>(10 + i),
+                          AccessMode::Write)};
+      } else {
+        t.accesses = {acc(static_cast<hms::ObjectId>(10 + i),
+                          AccessMode::Read),
+                      acc(0, i == 0 ? AccessMode::Write : AccessMode::Read)};
+      }
+      t.work = [&count]() { count.fetch_add(1, std::memory_order_relaxed); };
+      gb.add_task(std::move(t));
+    }
+  }
+  const TaskGraph g = gb.build();
+  ChannelExecutor ex(8);
+  ex.run(g);
+  EXPECT_EQ(count.load(), kLayers * kWidth);
+  const ExecutorStats& s = ex.stats();
+  EXPECT_EQ(s.tasks_run, static_cast<std::uint64_t>(kLayers * kWidth));
+  EXPECT_EQ(s.pops + s.steals + s.inject_takes, s.tasks_run);
+}
+
+}  // namespace
+}  // namespace tahoe::task

@@ -1,5 +1,8 @@
-// Real thread-pool executor: correctness under dependences and the
-// phase-boundary hook.
+// Real thread-pool executors: correctness under dependences and the
+// phase-boundary hook. Everything here runs against both scheduling
+// backends (Chase–Lev shared deques and the channel/steal-half design)
+// through the IExecutor factory — the backends must be observably
+// interchangeable.
 #include "common/assert.hpp"
 
 #include <gtest/gtest.h>
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "task/channel_executor.hpp"
 #include "task/executor.hpp"
 
 namespace tahoe::task {
@@ -25,7 +29,14 @@ DataAccess acc(hms::ObjectId obj, AccessMode mode) {
   return a;
 }
 
-TEST(Executor, RunsEveryTaskOnce) {
+class ExecutorBackendTest : public ::testing::TestWithParam<ExecutorBackend> {
+ protected:
+  std::unique_ptr<IExecutor> make(unsigned workers) const {
+    return make_executor(GetParam(), workers);
+  }
+};
+
+TEST_P(ExecutorBackendTest, RunsEveryTaskOnce) {
   GraphBuilder gb;
   gb.begin_group("g");
   std::atomic<int> count{0};
@@ -36,13 +47,13 @@ TEST(Executor, RunsEveryTaskOnce) {
     gb.add_task(std::move(t));
   }
   const TaskGraph g = gb.build();
-  Executor ex(4);
-  ex.run(g);
+  const auto ex = make(4);
+  ex->run(g);
   EXPECT_EQ(count.load(), 100);
-  EXPECT_EQ(ex.stats().tasks_run, 100u);
+  EXPECT_EQ(ex->stats().tasks_run, 100u);
 }
 
-TEST(Executor, DependencesOrderEffects) {
+TEST_P(ExecutorBackendTest, DependencesOrderEffects) {
   // Chain: each task appends its id; RAW deps force program order.
   GraphBuilder gb;
   gb.begin_group("g");
@@ -58,13 +69,13 @@ TEST(Executor, DependencesOrderEffects) {
     gb.add_task(std::move(t));
   }
   const TaskGraph g = gb.build();
-  Executor ex(4);
-  ex.run(g);
+  const auto ex = make(4);
+  ex->run(g);
   ASSERT_EQ(order.size(), 32u);
   for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(Executor, ForkJoinComputesCorrectSum) {
+TEST_P(ExecutorBackendTest, ForkJoinComputesCorrectSum) {
   // One producer writes, N parallel readers accumulate, one reducer reads.
   GraphBuilder gb;
   gb.begin_group("g");
@@ -93,12 +104,12 @@ TEST(Executor, ForkJoinComputesCorrectSum) {
     gb.add_task(std::move(t));
   }
   const TaskGraph g = gb.build();
-  Executor ex(8);
-  ex.run(g);
+  const auto ex = make(8);
+  ex->run(g);
   EXPECT_EQ(result, 64L * 21L);
 }
 
-TEST(Executor, PhaseHookRunsBeforeEachGroup) {
+TEST_P(ExecutorBackendTest, PhaseHookRunsBeforeEachGroup) {
   GraphBuilder gb;
   std::atomic<int> phase_marker{-1};
   std::vector<int> seen_by_group(3, -2);
@@ -114,9 +125,9 @@ TEST(Executor, PhaseHookRunsBeforeEachGroup) {
     }
   }
   const TaskGraph g = gb.build();
-  Executor ex(4);
+  const auto ex = make(4);
   std::vector<GroupId> hook_order;
-  ex.run(g, [&](GroupId gi) {
+  ex->run(g, [&](GroupId gi) {
     hook_order.push_back(gi);
     phase_marker.store(static_cast<int>(gi), std::memory_order_release);
   });
@@ -126,7 +137,7 @@ TEST(Executor, PhaseHookRunsBeforeEachGroup) {
   for (int gi = 0; gi < 3; ++gi) EXPECT_EQ(seen_by_group[gi], gi);
 }
 
-TEST(Executor, ExceptionsPropagate) {
+TEST_P(ExecutorBackendTest, ExceptionsPropagate) {
   GraphBuilder gb;
   gb.begin_group("g");
   Task t;
@@ -134,12 +145,54 @@ TEST(Executor, ExceptionsPropagate) {
   t.work = []() { throw std::runtime_error("kernel failed"); };
   gb.add_task(std::move(t));
   const TaskGraph g = gb.build();
-  Executor ex(2);
-  EXPECT_THROW(ex.run(g), std::runtime_error);
+  const auto ex = make(2);
+  EXPECT_THROW(ex->run(g), std::runtime_error);
 }
 
-TEST(Executor, ReusableAcrossRuns) {
-  Executor ex(3);
+// A task throwing mid-group in phase mode must not wedge the group
+// barrier: the remaining tasks of its group and every later group still
+// run, and run() rethrows the error once the whole graph drained.
+TEST_P(ExecutorBackendTest, PhaseModeExceptionReleasesBarrierAndRethrows) {
+  GraphBuilder gb;
+  std::atomic<int> completed{0};
+  std::atomic<int> last_group_tasks{0};
+  constexpr int kGroups = 3;
+  constexpr int kPerGroup = 8;
+  for (int gi = 0; gi < kGroups; ++gi) {
+    gb.begin_group("g" + std::to_string(gi));
+    for (int i = 0; i < kPerGroup; ++i) {
+      Task t;
+      t.accesses = {acc(static_cast<hms::ObjectId>(gi * 100 + i),
+                        AccessMode::Write)};
+      if (gi == 1 && i == 3) {
+        t.work = []() { throw std::runtime_error("mid-group failure"); };
+      } else {
+        t.work = [&completed, &last_group_tasks, gi]() {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          if (gi == kGroups - 1) {
+            last_group_tasks.fetch_add(1, std::memory_order_relaxed);
+          }
+        };
+      }
+      gb.add_task(std::move(t));
+    }
+  }
+  const TaskGraph g = gb.build();
+  const auto ex = make(4);
+  std::vector<GroupId> hook_order;
+  EXPECT_THROW(
+      ex->run(g, [&](GroupId gi) { hook_order.push_back(gi); }),
+      std::runtime_error);
+  // All groups were started and every non-throwing task ran to completion.
+  EXPECT_EQ(hook_order, (std::vector<GroupId>{0, 1, 2}));
+  EXPECT_EQ(completed.load(), kGroups * kPerGroup - 1);
+  EXPECT_EQ(last_group_tasks.load(), kPerGroup);
+  EXPECT_EQ(ex->stats().tasks_run,
+            static_cast<std::uint64_t>(kGroups * kPerGroup));
+}
+
+TEST_P(ExecutorBackendTest, ReusableAcrossRuns) {
+  const auto ex = make(3);
   for (int round = 0; round < 5; ++round) {
     GraphBuilder gb;
     gb.begin_group("g");
@@ -151,13 +204,13 @@ TEST(Executor, ReusableAcrossRuns) {
       gb.add_task(std::move(t));
     }
     const TaskGraph g = gb.build();
-    ex.run(g);
+    ex->run(g);
     EXPECT_EQ(n.load(), 20);
   }
-  EXPECT_EQ(ex.stats().tasks_run, 100u);
+  EXPECT_EQ(ex->stats().tasks_run, 100u);
 }
 
-TEST(Executor, SingleWorkerIsSequential) {
+TEST_P(ExecutorBackendTest, SingleWorkerIsSequential) {
   GraphBuilder gb;
   gb.begin_group("g");
   std::vector<int> order;
@@ -168,20 +221,43 @@ TEST(Executor, SingleWorkerIsSequential) {
     gb.add_task(std::move(t));
   }
   const TaskGraph g = gb.build();
-  Executor ex(1);
-  ex.run(g);
+  const auto ex = make(1);
+  ex->run(g);
   EXPECT_EQ(order.size(), 10u);
 }
 
-TEST(Executor, RejectsBadConfig) {
-  EXPECT_THROW(Executor(0), ContractError);
-  Executor ex(1);
+// Regression: a single-worker pool has no victims, so an empty acquisition
+// round is an idle spin, not a failed steal. The counter used to be bumped
+// on every such round, inflating executor.steals_failed by the number of
+// idle spins between activations.
+TEST_P(ExecutorBackendTest, SingleWorkerReportsNoFailedSteals) {
   GraphBuilder gb;
-  gb.begin_group("empty");
-  EXPECT_THROW(ex.run(gb.build()), ContractError);
+  gb.begin_group("g");
+  for (int i = 0; i < 16; ++i) {
+    Task t;
+    t.accesses = {acc(1, AccessMode::ReadWrite)};  // serial chain
+    t.work = []() {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    };
+    gb.add_task(std::move(t));
+  }
+  const TaskGraph g = gb.build();
+  const auto ex = make(1);
+  ex->run(g);
+  EXPECT_EQ(ex->stats().tasks_run, 16u);
+  EXPECT_EQ(ex->stats().failed_steals, 0u);
+  EXPECT_EQ(ex->stats().steals, 0u);
 }
 
-TEST(Executor, RejectsMisSizedTierHints) {
+TEST_P(ExecutorBackendTest, RejectsBadConfig) {
+  EXPECT_THROW(make(0), ContractError);
+  const auto ex = make(1);
+  GraphBuilder gb;
+  gb.begin_group("empty");
+  EXPECT_THROW(ex->run(gb.build()), ContractError);
+}
+
+TEST_P(ExecutorBackendTest, RejectsMisSizedTierHints) {
   GraphBuilder gb;
   gb.begin_group("g");
   for (int i = 0; i < 4; ++i) {
@@ -191,12 +267,12 @@ TEST(Executor, RejectsMisSizedTierHints) {
     gb.add_task(std::move(t));
   }
   const TaskGraph g = gb.build();
-  Executor ex(2);
+  const auto ex = make(2);
   const std::vector<TierHint> wrong(3, TierHint::kHot);
-  EXPECT_THROW(ex.run(g, {}, wrong), ContractError);
+  EXPECT_THROW(ex->run(g, {}, wrong), ContractError);
 }
 
-TEST(Executor, StatsAccountForEveryTask) {
+TEST_P(ExecutorBackendTest, StatsAccountForEveryTask) {
   GraphBuilder gb;
   gb.begin_group("g");
   std::atomic<int> count{0};
@@ -209,24 +285,35 @@ TEST(Executor, StatsAccountForEveryTask) {
     gb.add_task(std::move(t));
   }
   const TaskGraph g = gb.build();
-  Executor ex(4);
-  ex.run(g);
+  const auto ex = make(4);
+  ex->run(g);
   EXPECT_EQ(count.load(), kTasks);
-  const ExecutorStats& s = ex.stats();
+  const ExecutorStats& s = ex->stats();
   EXPECT_EQ(s.tasks_run, static_cast<std::uint64_t>(kTasks));
-  // Every task was enqueued exactly once and taken exactly once.
-  EXPECT_EQ(s.pushes, static_cast<std::uint64_t>(kTasks));
+  // Every task was taken for execution exactly once, whichever backend.
   EXPECT_EQ(s.pops + s.steals + s.inject_takes,
             static_cast<std::uint64_t>(kTasks));
+  if (GetParam() == ExecutorBackend::kChaseLev) {
+    // Chase–Lev enqueues each task exactly once. The channel backend
+    // re-enqueues the tail of steal-half batches locally, so its pushes
+    // may exceed the task count (but never undercount it).
+    EXPECT_EQ(s.pushes, static_cast<std::uint64_t>(kTasks));
+    EXPECT_EQ(s.steal_requests, 0u);
+    EXPECT_EQ(s.steal_halves, 0u);
+  } else {
+    EXPECT_GE(s.pushes, static_cast<std::uint64_t>(kTasks));
+    // Every steal was granted by an explicit request; declines on top.
+    EXPECT_GE(s.steal_requests, s.steals + s.steal_declines);
+  }
   // The per-worker breakdown adds up to the aggregate.
   std::uint64_t per_worker_tasks = 0;
-  for (unsigned w = 0; w < ex.num_workers(); ++w) {
-    per_worker_tasks += ex.worker_stats(w).tasks_run;
+  for (unsigned w = 0; w < ex->num_workers(); ++w) {
+    per_worker_tasks += ex->worker_stats(w).tasks_run;
   }
   EXPECT_EQ(per_worker_tasks, s.tasks_run);
 }
 
-TEST(Executor, ColdHintedTasksAllRunAndAreCounted) {
+TEST_P(ExecutorBackendTest, ColdHintedTasksAllRunAndAreCounted) {
   GraphBuilder gb;
   gb.begin_group("g");
   std::atomic<int> count{0};
@@ -240,13 +327,13 @@ TEST(Executor, ColdHintedTasksAllRunAndAreCounted) {
     hints.push_back(i % 2 == 0 ? TierHint::kCold : TierHint::kHot);
   }
   const TaskGraph g = gb.build();
-  Executor ex(4);
-  ex.run(g, {}, hints);
+  const auto ex = make(4);
+  ex->run(g, {}, hints);
   EXPECT_EQ(count.load(), kTasks);
-  EXPECT_EQ(ex.stats().cold_takes, static_cast<std::uint64_t>(kTasks / 2));
+  EXPECT_EQ(ex->stats().cold_takes, static_cast<std::uint64_t>(kTasks / 2));
 }
 
-TEST(Executor, SingleWorkerRunsHotTasksBeforeColdOnes) {
+TEST_P(ExecutorBackendTest, SingleWorkerRunsHotTasksBeforeColdOnes) {
   // A head task fans out to 8 hot + 8 cold successors. With one worker all
   // successors are enqueued by that worker when the head completes, so the
   // hot-before-cold scheduling order is deterministic.
@@ -270,8 +357,8 @@ TEST(Executor, SingleWorkerRunsHotTasksBeforeColdOnes) {
     hints.push_back(i % 2 == 0 ? TierHint::kHot : TierHint::kCold);
   }
   const TaskGraph g = gb.build();
-  Executor ex(1);
-  ex.run(g, {}, hints);
+  const auto ex = make(1);
+  ex->run(g, {}, hints);
   ASSERT_EQ(order.size(), 16u);
   // The 8 hot successors (even i) all execute before any cold one.
   for (int pos = 0; pos < 8; ++pos) {
@@ -279,10 +366,9 @@ TEST(Executor, SingleWorkerRunsHotTasksBeforeColdOnes) {
   }
 }
 
-TEST(Executor, PhaseModeWithHintsKeepsBarrierSemantics) {
+TEST_P(ExecutorBackendTest, PhaseModeWithHintsKeepsBarrierSemantics) {
   GraphBuilder gb;
   std::atomic<int> running{0};
-  std::atomic<int> max_group_overlap{0};
   std::vector<TierHint> hints;
   std::atomic<int> current_group{-1};
   std::atomic<bool> violation{false};
@@ -303,24 +389,23 @@ TEST(Executor, PhaseModeWithHintsKeepsBarrierSemantics) {
     }
   }
   const TaskGraph g = gb.build();
-  Executor ex(4);
-  ex.run(g, [&](GroupId gi) {
+  const auto ex = make(4);
+  ex->run(g, [&](GroupId gi) {
     current_group.store(static_cast<int>(gi), std::memory_order_release);
   }, hints);
   EXPECT_EQ(running.load(), 36);
   EXPECT_FALSE(violation.load());
-  (void)max_group_overlap;
 }
 
-TEST(Executor, DestructorDrainsParkedWorkers) {
+TEST_P(ExecutorBackendTest, DestructorDrainsParkedWorkers) {
   // Workers park when idle; destruction must wake and join them promptly
   // whether or not a run ever happened.
   {
-    Executor idle(8);
+    const auto idle = make(8);
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }  // destructor must not hang
   {
-    Executor used(8);
+    const auto used = make(8);
     GraphBuilder gb;
     gb.begin_group("g");
     std::atomic<int> n{0};
@@ -330,18 +415,58 @@ TEST(Executor, DestructorDrainsParkedWorkers) {
       t.work = [&n]() { n.fetch_add(1); };
       gb.add_task(std::move(t));
     }
-    used.run(gb.build());
+    used->run(gb.build());
     EXPECT_EQ(n.load(), 32);
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }  // parked-after-work destructor must not hang either
   SUCCEED();
 }
 
+// Regression: the round-robin injection cursor used to restart at slot 0
+// for every group, so a phase-parallel app built from many small groups
+// piled all its activations onto the first workers while the rest starved.
+// The cursor now persists across groups (and runs): over many 2-task
+// groups the scatter must come out balanced across all slots.
+TEST_P(ExecutorBackendTest, InjectionScatterIsBalancedAcrossSmallGroups) {
+  constexpr unsigned kWorkers = 4;
+  constexpr int kGroups = 50;
+  constexpr int kPerGroup = 2;  // fewer eligible tasks than workers
+  GraphBuilder gb;
+  std::atomic<int> n{0};
+  for (int gi = 0; gi < kGroups; ++gi) {
+    gb.begin_group("g" + std::to_string(gi));
+    for (int i = 0; i < kPerGroup; ++i) {
+      Task t;
+      t.accesses = {acc(static_cast<hms::ObjectId>(gi * 10 + i),
+                        AccessMode::Write)};
+      t.work = [&n]() { n.fetch_add(1, std::memory_order_relaxed); };
+      gb.add_task(std::move(t));
+    }
+  }
+  const TaskGraph g = gb.build();
+  const auto ex = make(kWorkers);
+  ex->run(g, [](GroupId) {});  // phase mode: groups activate one at a time
+  EXPECT_EQ(n.load(), kGroups * kPerGroup);
+  const std::vector<std::uint64_t> per_slot = ex->injection_slot_pushes();
+  ASSERT_EQ(per_slot.size(), kWorkers);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : per_slot) total += c;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kGroups * kPerGroup));
+  // 100 activations round-robin over 4 slots: exactly 25 each. With the
+  // old per-group cursor reset, slots 0 and 1 would get 50 each and slots
+  // 2 and 3 nothing.
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(per_slot[w], static_cast<std::uint64_t>(kGroups * kPerGroup) /
+                               kWorkers)
+        << "slot " << w;
+  }
+}
+
 // Randomized graph-execution oracle: arbitrary access patterns produce
 // arbitrary DAGs; execution must run every task exactly once and never
 // start a task before all of its predecessors finished. The completion
 // index per task is recorded and checked against every edge.
-TEST(Executor, RandomizedGraphOracle) {
+TEST_P(ExecutorBackendTest, RandomizedGraphOracle) {
   for (const std::uint64_t seed : {1ull, 7ull, 1234ull, 0xdeadull}) {
     Rng rng(seed);
     GraphBuilder gb;
@@ -402,16 +527,32 @@ TEST(Executor, RandomizedGraphOracle) {
       hints.push_back(rng.next_below(2) == 0 ? TierHint::kHot
                                              : TierHint::kCold);
     }
-    Executor ex(4);
+    const auto ex = make(4);
     const bool phase = rng.next_below(2) == 0;
     if (phase) {
-      ex.run(g2, [](GroupId) {}, hints);
+      ex->run(g2, [](GroupId) {}, hints);
     } else {
-      ex.run(g2, {}, hints);
+      ex->run(g2, {}, hints);
     }
     EXPECT_EQ(executed.load(), total) << "seed " << seed;
     EXPECT_FALSE(order_violation.load()) << "seed " << seed;
   }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ExecutorBackendTest,
+    ::testing::Values(ExecutorBackend::kChaseLev, ExecutorBackend::kChannel),
+    [](const ::testing::TestParamInfo<ExecutorBackend>& param_info) {
+      return std::string(to_string(param_info.param));
+    });
+
+TEST(ExecutorBackendParsing, RoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(parse_executor_backend("chaselev"), ExecutorBackend::kChaseLev);
+  EXPECT_EQ(parse_executor_backend("channel"), ExecutorBackend::kChannel);
+  EXPECT_FALSE(parse_executor_backend("").has_value());
+  EXPECT_FALSE(parse_executor_backend("Channel").has_value());
+  EXPECT_STREQ(to_string(ExecutorBackend::kChaseLev), "chaselev");
+  EXPECT_STREQ(to_string(ExecutorBackend::kChannel), "channel");
 }
 
 }  // namespace

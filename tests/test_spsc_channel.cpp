@@ -1,0 +1,121 @@
+// Bounded SPSC ring channel: the transport under the channel executor's
+// steal-request protocol.
+#include "task/spsc_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace tahoe::task {
+namespace {
+
+TEST(SpscChannel, StartsEmptyAndRoundsCapacityToPowerOfTwo) {
+  SpscChannel<int> ch(3);
+  EXPECT_TRUE(ch.empty_approx());
+  EXPECT_EQ(ch.size_approx(), 0u);
+  EXPECT_EQ(ch.capacity(), 4u);  // next power of two
+  SpscChannel<int> tiny(1);
+  EXPECT_EQ(tiny.capacity(), 2u);  // minimum
+  SpscChannel<int> exact(8);
+  EXPECT_EQ(exact.capacity(), 8u);
+}
+
+TEST(SpscChannel, FifoOrderSingleThread) {
+  SpscChannel<int> ch(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ch.try_send(i));
+  EXPECT_EQ(ch.size_approx(), 8u);
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ch.try_recv(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ch.try_recv(v));
+  EXPECT_TRUE(ch.empty_approx());
+}
+
+TEST(SpscChannel, SendFailsWhenFullRecvFailsWhenEmpty) {
+  SpscChannel<int> ch(2);
+  int v = 0;
+  EXPECT_FALSE(ch.try_recv(v));
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));  // full
+  EXPECT_TRUE(ch.try_recv(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ch.try_send(3));  // slot freed
+  EXPECT_TRUE(ch.try_recv(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(ch.try_recv(v));
+  EXPECT_EQ(v, 3);
+  EXPECT_FALSE(ch.try_recv(v));
+}
+
+TEST(SpscChannel, WrapsAroundManyTimes) {
+  SpscChannel<std::uint64_t> ch(4);
+  std::uint64_t next_recv = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(ch.try_send(i));
+    if (i % 3 == 0) {  // drain partially so head/tail wrap out of phase
+      std::uint64_t v = 0;
+      while (ch.try_recv(v)) {
+        EXPECT_EQ(v, next_recv);
+        ++next_recv;
+      }
+    }
+  }
+  std::uint64_t v = 0;
+  while (ch.try_recv(v)) {
+    EXPECT_EQ(v, next_recv);
+    ++next_recv;
+  }
+  EXPECT_EQ(next_recv, 1000u);
+}
+
+TEST(SpscChannel, ConcurrentProducerConsumerDeliversEverythingInOrder) {
+  constexpr std::uint64_t kItems = 200000;
+  SpscChannel<std::uint64_t> ch(64);
+  std::thread producer([&ch] {
+    for (std::uint64_t i = 0; i < kItems; ++i) {
+      while (!ch.try_send(i)) std::this_thread::yield();
+    }
+  });
+  std::uint64_t received = 0;
+  bool in_order = true;
+  while (received < kItems) {
+    std::uint64_t v = 0;
+    if (ch.try_recv(v)) {
+      if (v != received) in_order = false;
+      ++received;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(received, kItems);
+  EXPECT_TRUE(ch.empty_approx());
+}
+
+TEST(SpscChannel, CarriesTriviallyCopyableStructsIntact) {
+  struct Payload {
+    std::uint32_t a;
+    bool flag;
+    std::uint64_t values[4];
+  };
+  SpscChannel<Payload> ch(4);
+  Payload p{};
+  p.a = 42;
+  p.flag = true;
+  for (int i = 0; i < 4; ++i) p.values[i] = 100 + i;
+  EXPECT_TRUE(ch.try_send(p));
+  Payload q{};
+  EXPECT_TRUE(ch.try_recv(q));
+  EXPECT_EQ(q.a, 42u);
+  EXPECT_TRUE(q.flag);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.values[i], 100u + i);
+}
+
+}  // namespace
+}  // namespace tahoe::task

@@ -1,0 +1,100 @@
+// End-to-end checks of the tahoe_sweep fork/merge driver, including the
+// child-failure contract: a cell whose child exits non-zero must surface
+// as an explicit failed run entry in the merged artifact (and a non-zero
+// sweep exit), never as a silently merged partial result.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/json.hpp"
+
+namespace tahoe {
+namespace {
+
+#ifdef TAHOE_SWEEP_BIN
+
+int run_sweep(const std::string& args) {
+  const std::string cmd =
+      std::string(TAHOE_SWEEP_BIN) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+trace::JsonValue read_artifact(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is) << "sweep wrote no artifact at " << path;
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return trace::parse_json(buf.str());
+}
+
+TEST(Sweep, HealthyGridMergesEveryCell) {
+  const std::string out = ::testing::TempDir() + "sweep_ok.json";
+  ASSERT_EQ(run_sweep("--out " + out +
+                      " --workloads cg --policies static-dram,static-nvm"
+                      " --nvm-specs bw:0.5 --scale test --jobs 2"),
+            0);
+  const trace::JsonValue v = read_artifact(out);
+  EXPECT_EQ(v.at("schema").string, "tahoe_sweep_v1");
+  EXPECT_EQ(v.at("cells").number, 2.0);
+  EXPECT_EQ(v.at("failed_cells").number, 0.0);
+  ASSERT_EQ(v.at("runs").array.size(), 2u);
+  for (const trace::JsonValue& run : v.at("runs").array) {
+    EXPECT_TRUE(run.object.count("steady_iteration_seconds"));
+    EXPECT_FALSE(run.object.count("failed"));
+  }
+  EXPECT_EQ(v.at("comparison").array.size(), 1u);
+  EXPECT_EQ(v.at("comparison").array[0].at("rows").array.size(), 2u);
+  std::remove(out.c_str());
+}
+
+TEST(Sweep, FailedCellIsMarkedNotSilentlyMerged) {
+  // "bogus" is not a policy: its child exits non-zero before producing a
+  // report. The sweep must still write the artifact, mark the cell failed,
+  // keep the healthy cell's run intact, and exit non-zero itself.
+  const std::string out = ::testing::TempDir() + "sweep_fail.json";
+  ASSERT_NE(run_sweep("--out " + out +
+                      " --workloads cg --policies static-dram,bogus"
+                      " --nvm-specs bw:0.5 --scale test --jobs 2"),
+            0);
+  const trace::JsonValue v = read_artifact(out);
+  EXPECT_EQ(v.at("cells").number, 2.0);
+  EXPECT_EQ(v.at("failed_cells").number, 1.0);
+  ASSERT_EQ(v.at("runs").array.size(), 2u);
+  int failed_entries = 0;
+  int healthy_entries = 0;
+  for (const trace::JsonValue& run : v.at("runs").array) {
+    if (run.object.count("failed")) {
+      ++failed_entries;
+      EXPECT_TRUE(run.at("failed").boolean);
+      EXPECT_EQ(run.at("policy").string, "bogus");
+      EXPECT_EQ(run.at("workload").string, "cg");
+      // No partial results may ride along on a failed entry.
+      EXPECT_FALSE(run.object.count("steady_iteration_seconds"));
+    } else {
+      ++healthy_entries;
+      EXPECT_TRUE(run.object.count("steady_iteration_seconds"));
+    }
+  }
+  EXPECT_EQ(failed_entries, 1);
+  EXPECT_EQ(healthy_entries, 1);
+  // The comparison section only ranks real runs.
+  ASSERT_EQ(v.at("comparison").array.size(), 1u);
+  EXPECT_EQ(v.at("comparison").array[0].at("rows").array.size(), 1u);
+  std::remove(out.c_str());
+}
+
+#else
+
+TEST(Sweep, RequiresBenchBuild) {
+  GTEST_SKIP() << "tahoe_sweep is only built with TAHOE_BUILD_BENCH=ON";
+}
+
+#endif  // TAHOE_SWEEP_BIN
+
+}  // namespace
+}  // namespace tahoe

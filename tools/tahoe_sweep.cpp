@@ -181,7 +181,7 @@ int main(int argc, char** argv) {
   // Fan out, at most --jobs children in flight.
   const auto jobs = static_cast<std::size_t>(flags.get_int("jobs"));
   std::map<pid_t, std::size_t> running;
-  bool failed = false;
+  std::vector<bool> cell_failed(cells.size(), false);
   const auto reap_one = [&] {
     int status = 0;
     const pid_t pid = wait(&status);
@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
       const Cell& c = cells[it->second];
       std::cerr << "cell failed: " << c.workload << "/" << c.policy << "/"
                 << c.nvm_spec << "\n";
-      failed = true;
+      cell_failed[it->second] = true;
     }
     running.erase(it);
   };
@@ -207,10 +207,14 @@ int main(int argc, char** argv) {
     running.emplace(pid, i);
   }
   while (!running.empty()) reap_one();
-  if (failed) return 1;
 
   // Merge: raw report lines, bucket-wise histograms, and the parsed values
-  // the comparison section needs.
+  // the comparison section needs. A failed cell (non-zero child exit, or a
+  // child that died before writing its report) must not be silently
+  // dropped — and the partial artifacts it may have left behind must not
+  // be merged as if the cell succeeded. It contributes an explicit
+  // `"failed":true` run entry instead, the artifact carries a top-level
+  // failed_cells count, and the sweep still exits non-zero.
   struct Run {
     std::size_t cell = 0;
     double steady_seconds = 0.0;
@@ -218,23 +222,40 @@ int main(int argc, char** argv) {
   std::vector<std::string> raw_runs;
   std::vector<Run> runs;
   std::map<std::string, trace::HistogramSnapshot> merged;
+  std::size_t failed_cells = 0;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const std::string line = first_line(read_file(cells[i].report_path));
-    if (line.empty()) {
+    if (line.empty() && !cell_failed[i]) {
       std::cerr << "cell produced no report: " << cells[i].report_path
                 << "\n";
-      return 1;
+      cell_failed[i] = true;
     }
-    const trace::JsonValue report = trace::parse_json(line);
-    Run run;
-    run.cell = i;
-    run.steady_seconds = report.at("steady_iteration_seconds").number;
-    runs.push_back(run);
-    raw_runs.push_back(line);
+    if (cell_failed[i]) {
+      ++failed_cells;
+      std::ostringstream failed_entry;
+      {
+        trace::JsonWriter w(failed_entry);
+        w.begin_object()
+            .kv("workload", cells[i].workload)
+            .kv("policy", cells[i].policy)
+            .kv("nvm", cells[i].nvm_spec)
+            .kv("failed", true)
+            .end_object();
+      }
+      raw_runs.push_back(failed_entry.str());
+    } else {
+      const trace::JsonValue report = trace::parse_json(line);
+      Run run;
+      run.cell = i;
+      run.steady_seconds = report.at("steady_iteration_seconds").number;
+      runs.push_back(run);
+      raw_runs.push_back(line);
 
-    const trace::JsonValue hist = trace::parse_json(read_file(cells[i].hist_path));
-    for (const auto& [name, snap] : hist.at("histograms").object) {
-      merged[name].merge(parse_snapshot(snap));
+      const trace::JsonValue hist =
+          trace::parse_json(read_file(cells[i].hist_path));
+      for (const auto& [name, snap] : hist.at("histograms").object) {
+        merged[name].merge(parse_snapshot(snap));
+      }
     }
     if (!flags.get_bool("keep-cells")) {
       std::remove(cells[i].report_path.c_str());
@@ -244,7 +265,7 @@ int main(int argc, char** argv) {
 
   std::ofstream os(out);
   os << "{\"schema\":\"tahoe_sweep_v1\",\"cells\":" << cells.size()
-     << ",\"runs\":[";
+     << ",\"failed_cells\":" << failed_cells << ",\"runs\":[";
   for (std::size_t i = 0; i < raw_runs.size(); ++i) {
     if (i != 0) os << ",";
     os << raw_runs[i];
@@ -321,6 +342,8 @@ int main(int argc, char** argv) {
     std::cerr << "failed writing " << out << "\n";
     return 1;
   }
-  std::cout << "sweep: " << cells.size() << " cells -> " << out << "\n";
-  return 0;
+  std::cout << "sweep: " << cells.size() << " cells";
+  if (failed_cells != 0) std::cout << " (" << failed_cells << " failed)";
+  std::cout << " -> " << out << "\n";
+  return failed_cells == 0 ? 0 : 1;
 }
