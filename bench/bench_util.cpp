@@ -11,7 +11,9 @@
 #include "core/calibration.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/counters.hpp"
+#include "trace/flight.hpp"
 #include "trace/histogram.hpp"
+#include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace tahoe::bench {
@@ -158,6 +160,7 @@ void register_artifact_flags(Flags& flags) {
                       "append each policy run's plan provenance (candidates, "
                       "weights, accept/reject reasons) as a JSON line here");
   fault::register_flags(flags);
+  trace::register_telemetry_flags(flags);
 }
 
 ArtifactFlags apply_artifact_flags(const Flags& flags) {
@@ -176,15 +179,23 @@ ArtifactFlags apply_artifact_flags(const Flags& flags) {
   }
   if (!out.trace_out.empty()) {
     // Export at process exit so one invocation (possibly many runs) yields
-    // one timeline. The path outlives the call via a static.
+    // one timeline. The path outlives the call via a static. The retained
+    // overload stitches back any events the telemetry sampler drained into
+    // the flight-recorder ring before the exit hook runs.
     static std::string trace_path;
     const bool first = trace_path.empty();
     trace_path = out.trace_out;
     trace::global().set_enabled(true);
     if (first) {
-      std::atexit([] { trace::export_chrome_trace(trace::global(), trace_path); });
+      std::atexit([] {
+        trace::export_chrome_trace(trace::global(), trace_path,
+                                   trace::flight().take_retained());
+      });
     }
   }
+  // Telemetry sampler + flight recorder; retain drained events only when a
+  // full trace export is also pending (see above).
+  trace::configure_telemetry_from_flags(flags, !out.trace_out.empty());
   return out;
 }
 

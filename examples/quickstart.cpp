@@ -18,7 +18,9 @@
 #include "core/runtime.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/counters.hpp"
+#include "trace/flight.hpp"
 #include "trace/histogram.hpp"
+#include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -101,6 +103,7 @@ int main(int argc, char** argv) {
                     "zero out the wall-clock-measured planning cost so "
                     "same-seed runs write byte-identical reports");
   tahoe::fault::register_flags(flags);
+  tahoe::trace::register_telemetry_flags(flags);
   flags.parse(argc, argv);
   tahoe::fault::configure_from_flags(flags);
   const std::string trace_out = flags.get_string("trace-out");
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() || !report_json.empty() || !explain_out.empty()) {
     trace::set_histograms_enabled(true);
   }
+  trace::configure_telemetry_from_flags(flags, !trace_out.empty());
 
   core::RuntimeConfig config;
   const std::string machine_name = flags.get_string("machine");
@@ -177,11 +181,15 @@ int main(int argc, char** argv) {
             << (two_tier ? "DRAM/NVM" : "fast-tier/capacity-tier")
             << " gap\n";
 
+  // The retained overload stitches back any events the telemetry sampler
+  // drained into the flight-recorder ring mid-run.
   if (!trace_out.empty() &&
-      trace::export_chrome_trace(trace::global(), trace_out)) {
+      trace::export_chrome_trace(trace::global(), trace_out,
+                                 trace::flight().take_retained())) {
     std::cout << "  trace written to " << trace_out
               << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
   }
+  trace::telemetry().shutdown();  // flush the JSONL stream before exit
   if (!report_json.empty()) {
     std::ofstream os(report_json);
     auto& reg = trace::global_counters();

@@ -74,6 +74,9 @@ void RunReport::write_json(
   w.kv("faults_injected", faults_injected);
   w.kv("verified", verified);
   w.kv("tasks_executed", tasks_executed);
+  if (trace_dropped_events != 0) {
+    w.kv("trace_dropped_events", trace_dropped_events);
+  }
   w.key("iteration_seconds").begin_array();
   for (const double s : iteration_seconds) w.value(s);
   w.end_array();

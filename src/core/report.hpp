@@ -154,6 +154,11 @@ struct RunReport {
   /// counter registry instead.
   std::uint64_t tasks_executed = 0;
 
+  /// Trace events lost to full rings during this run (Tracer::dropped()
+  /// delta). Serialized only when nonzero, keeping clean runs' exports
+  /// byte-identical to the legacy layout.
+  std::uint64_t trace_dropped_events = 0;
+
   /// Decision provenance: one record per planning round (including
   /// degraded re-plans). Serialized by write_explain_json, not write_json.
   std::vector<PlanRecord> plans;

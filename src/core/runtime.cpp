@@ -15,6 +15,7 @@
 #include "task/executor.hpp"
 #include "task/sim_executor.hpp"
 #include "trace/counters.hpp"
+#include "trace/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace tahoe::core {
@@ -256,6 +257,8 @@ Runtime::AppState Runtime::prepare(Application& app, bool huge_tiers) {
 RunReport Runtime::run(Application& app, Policy& policy) {
   const memsim::Machine& machine = config_.machine;
   const std::uint64_t faults_before = fault::global().total_injected();
+  const std::uint64_t dropped_before = trace::global().dropped();
+  trace::telemetry().begin_run("run:" + app.name() + "/" + policy.name());
   AppState state = prepare(app, /*huge_tiers=*/false);
 
   RunReport report;
@@ -514,6 +517,8 @@ RunReport Runtime::run(Application& app, Policy& policy) {
   report.strategy = strategy;
   report.failed_no_space = state.registry->stats().failed_no_space;
   report.faults_injected = fault::global().total_injected() - faults_before;
+  report.trace_dropped_events = trace::global().dropped() - dropped_before;
+  trace::sync_dropped_events_counter();
 
   if (config_.attribution) {
     // Fold the profiler's view in: raw sampled counts and their
@@ -585,6 +590,8 @@ RunReport Runtime::run_static(Application& app, memsim::DeviceId tier) {
   task::SimExecutor::Options opts;
   opts.check_capacity = false;  // single-tier run; nothing moves
   trace::Tracer& tracer = trace::global();
+  const std::uint64_t dropped_before = tracer.dropped();
+  trace::telemetry().begin_run("run:" + app.name() + "/" + report.policy);
   double vclock = 0.0;
   if (tracer.enabled()) {
     name_standard_tracks(opts.workers != 0 ? opts.workers : machine.workers);
@@ -602,6 +609,8 @@ RunReport Runtime::run_static(Application& app, memsim::DeviceId tier) {
     report.compute_seconds += sim.makespan;
     report.tasks_executed += graph.num_tasks();
   }
+  report.trace_dropped_events = tracer.dropped() - dropped_before;
+  trace::sync_dropped_events_counter();
   return report;
 }
 
@@ -635,6 +644,8 @@ RunReport Runtime::run_pinned(Application& app,
   task::SimExecutor::Options opts;
   opts.check_capacity = false;  // fixed placement, nothing moves
   trace::Tracer& tracer = trace::global();
+  const std::uint64_t dropped_before = tracer.dropped();
+  trace::telemetry().begin_run("run:" + app.name() + "/pinned");
   double vclock = 0.0;
   if (tracer.enabled()) {
     name_standard_tracks(opts.workers != 0 ? opts.workers : machine.workers);
@@ -652,6 +663,8 @@ RunReport Runtime::run_pinned(Application& app,
     report.compute_seconds += sim.makespan;
     report.tasks_executed += graph.num_tasks();
   }
+  report.trace_dropped_events = tracer.dropped() - dropped_before;
+  trace::sync_dropped_events_counter();
   return report;
 }
 
@@ -667,6 +680,10 @@ RunReport Runtime::run_real_report(
   TAHOE_REQUIRE(config_.backing == hms::Backing::Real,
                 "run_real requires real backing");
   const std::uint64_t faults_before = fault::global().total_injected();
+  const std::uint64_t dropped_before = trace::global().dropped();
+  // Real-executor runs have no virtual clock; the sampler's wall-clock
+  // thread (if configured) does the ticking, this just marks the phase.
+  trace::telemetry().begin_run("real:" + app.name());
   AppState state = prepare(app, /*huge_tiers=*/false);
   name_standard_tracks(workers);
   hms::MigrationEngine::Options eopts;
@@ -733,6 +750,8 @@ RunReport Runtime::run_real_report(
   report.plans_degraded = engine.degraded_objects().size();
   report.faults_injected = fault::global().total_injected() - faults_before;
   report.tasks_executed = executor->stats().tasks_run;
+  report.trace_dropped_events = trace::global().dropped() - dropped_before;
+  trace::sync_dropped_events_counter();
   return report;
 }
 

@@ -13,6 +13,7 @@
 #include "task/sim_executor.hpp"
 #include "trace/counters.hpp"
 #include "trace/histogram.hpp"
+#include "trace/telemetry.hpp"
 
 namespace tahoe::serve {
 namespace {
@@ -32,6 +33,10 @@ struct TenantState {
   trace::Histogram* global_request = nullptr;
   trace::Histogram* global_queue = nullptr;
   trace::Histogram* global_service = nullptr;
+  /// Per-tenant queue-depth gauge, sampled once per epoch; registered
+  /// only while the telemetry sampler is armed, so non-telemetry runs
+  /// leave the registry untouched.
+  trace::Counter* queue_depth = nullptr;
 };
 
 void record(trace::Histogram& local, trace::Histogram* global,
@@ -71,6 +76,9 @@ ServeResult run_serve(TenantManager& manager, const ServeOptions& options) {
                             manager.tenant(b).priority;
                    });
 
+  trace::TelemetrySampler* const sampler =
+      trace::telemetry().enabled() ? &trace::telemetry() : nullptr;
+
   std::vector<std::unique_ptr<TenantState>> states;
   for (std::size_t i = 0; i < manager.size(); ++i) {
     const TenantConfig& cfg = manager.tenant(i);
@@ -78,6 +86,10 @@ ServeResult run_serve(TenantManager& manager, const ServeOptions& options) {
     st->source = std::make_unique<OpenLoopSource>(
         static_cast<std::uint32_t>(i), cfg.arrival_hz, cfg.seed);
     st->work_rng = std::make_unique<Rng>(cfg.seed ^ 0x5eedf0c1a11eau);
+    if (sampler != nullptr) {
+      st->queue_depth = &trace::global_counters().gauge(
+          "serve." + cfg.name + ".queue_depth");
+    }
     if (trace::histograms_enabled()) {
       trace::CounterRegistry& reg = trace::global_counters();
       st->global_request =
@@ -100,6 +112,10 @@ ServeResult run_serve(TenantManager& manager, const ServeOptions& options) {
   report.decision_seconds = plan_seconds;
   report.overhead_seconds = plan_seconds;
 
+  if (sampler != nullptr) {
+    sampler->begin_run("serve:" + report.policy);
+  }
+
   task::SimExecutor executor;
   std::uint64_t next_tag = 0;
   double clock = 0.0;
@@ -108,7 +124,14 @@ ServeResult run_serve(TenantManager& manager, const ServeOptions& options) {
       for (Request& r : st->source->drain_until(clock)) {
         st->queue.push_back(r);
       }
+      if (st->queue_depth != nullptr) {
+        st->queue_depth->set(static_cast<std::uint64_t>(st->queue.size()));
+      }
     }
+    // Epoch boundary tick: the executor advances the sampler inside busy
+    // epochs (same clock base — trace_time_offset is `clock`), but
+    // empty-batch epochs would otherwise leave gaps in the series.
+    if (sampler != nullptr) sampler->advance_virtual(clock);
 
     // Batch this epoch: one group per tenant with queued work, highest
     // priority dispatched first.

@@ -8,6 +8,7 @@
 #include "common/assert.hpp"
 #include "memsim/fluid.hpp"
 #include "trace/counters.hpp"
+#include "trace/telemetry.hpp"
 
 namespace tahoe::task {
 namespace {
@@ -48,6 +49,15 @@ SimReport SimExecutor::run(const TaskGraph& graph,
           ? options.tracer
           : nullptr;
   const double t0 = options.trace_time_offset;
+
+  // Progress counter + telemetry driver. The counter registration is
+  // hoisted out of the task-completion loop; the sampler pointer is only
+  // non-null when the sampler is armed, so steady-state runs pay one
+  // relaxed load here and nothing per task.
+  trace::Counter& tasks_executed =
+      trace::global_counters().get("sim.tasks_executed");
+  trace::TelemetrySampler* const sampler =
+      trace::telemetry().enabled() ? &trace::telemetry() : nullptr;
 
   memsim::FluidSim::Tuning sim_tuning;
   if (options.sim_lazy_threshold != 0) {
@@ -289,7 +299,11 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       complete_copy(it->second, completion->time - completion->start_time,
                     /*hidden=*/false);
     }
+    // Telemetry rides the same run-relative virtual clock as the trace:
+    // t0 carries the run's accumulated iteration time, and begin_run()
+    // restarts the sampler's epoch at each new Runtime entry point.
     report.stall_seconds += sim.now() - wait_begin;
+    if (sampler != nullptr) sampler->advance_virtual(t0 + sim.now());
     if (tracer != nullptr && sim.now() > wait_begin) {
       tracer->complete(trace::kRuntimeTrack, "migration-stall",
                        t0 + wait_begin, sim.now() - wait_begin, "group", g);
@@ -320,6 +334,7 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       }
       const auto tid = static_cast<TaskId>(completion->tag);
       report.task_seconds[tid] = completion->time - completion->start_time;
+      tasks_executed.increment();
       if (trace::histograms_enabled()) {
         static trace::Histogram& task_durations =
             trace::global_counters().histogram("sim.task_seconds");
@@ -344,6 +359,7 @@ SimReport SimExecutor::run(const TaskGraph& graph,
       }
     }
     report.group_seconds[g] = sim.now() - report.group_start[g];
+    if (sampler != nullptr) sampler->advance_virtual(t0 + sim.now());
     if (tracer != nullptr) {
       const std::string label = "group " + grp.name;
       tracer->complete(trace::kRuntimeTrack, label.c_str(),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <sstream>
+#include <stdexcept>
 
 #include "common/table.hpp"
 
@@ -460,6 +462,184 @@ void write_analysis_tables(std::ostream& os, const Analysis& a) {
       }
       occ.print(os);
     }
+  }
+}
+
+// ---- telemetry timeline ------------------------------------------------
+
+namespace {
+
+std::uint64_t num_u64(const JsonValue& doc, const std::string& key) {
+  return doc.has(key) ? static_cast<std::uint64_t>(doc.at(key).number) : 0;
+}
+
+double num_f64(const JsonValue& doc, const std::string& key) {
+  return doc.has(key) ? doc.at(key).number : 0.0;
+}
+
+}  // namespace
+
+Timeline analyze_timeline(const std::string& jsonl_text) {
+  Timeline tl;
+  std::istringstream ss(jsonl_text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue doc;
+    try {
+      doc = parse_json(line);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("telemetry line " + std::to_string(line_no) +
+                               ": " + e.what());
+    }
+    if (!doc.is_object() || !doc.has("type")) continue;
+    const std::string& type = doc.at("type").string;
+    if (type == "phase") {
+      TimelinePhase phase;
+      phase.seq = num_u64(doc, "seq");
+      if (doc.has("label")) phase.label = doc.at("label").string;
+      tl.phases.push_back(std::move(phase));
+    } else if (type == "interval") {
+      TimelineInterval row;
+      row.seq = num_u64(doc, "seq");
+      row.t = num_f64(doc, "t");
+      row.dt = num_f64(doc, "dt");
+      if (doc.has("counters")) {
+        for (const auto& [name, cell] : doc.at("counters").object) {
+          const std::uint64_t delta = num_u64(cell, "delta");
+          if (name == "sim.tasks_executed" || name == "executor.tasks") {
+            row.tasks_delta += delta;
+          } else if (starts_with(name, "migrate.bytes.")) {
+            row.bytes_delta += delta;
+          }
+        }
+      }
+      if (row.dt > 0.0) {
+        row.tasks_rate = static_cast<double>(row.tasks_delta) / row.dt;
+        row.bytes_rate = static_cast<double>(row.bytes_delta) / row.dt;
+      }
+      tl.total_tasks += row.tasks_delta;
+      tl.total_bytes += row.bytes_delta;
+      tl.duration_seconds = std::max(tl.duration_seconds, row.t);
+      tl.rows.push_back(row);
+    } else if (type == "breach") {
+      TimelineBreach breach;
+      breach.seq = num_u64(doc, "seq");
+      breach.t = num_f64(doc, "t");
+      if (doc.has("kind")) breach.kind = doc.at("kind").string;
+      if (doc.has("rule")) breach.rule = doc.at("rule").string;
+      breach.observed = num_f64(doc, "observed");
+      breach.limit = num_f64(doc, "limit");
+      breach.intervals = num_u64(doc, "intervals");
+      // Breach lines follow the interval that triggered them (same seq).
+      if (!tl.rows.empty() && tl.rows.back().seq == breach.seq) {
+        ++tl.rows.back().breaches;
+      }
+      tl.breaches.push_back(std::move(breach));
+    }
+  }
+  return tl;
+}
+
+void write_timeline_json(std::ostream& os, const Timeline& tl) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "tahoe_timeline_v1");
+  w.kv("intervals", static_cast<std::uint64_t>(tl.rows.size()));
+  w.kv("duration_seconds", tl.duration_seconds);
+  w.kv("total_tasks", tl.total_tasks);
+  w.kv("total_bytes", tl.total_bytes);
+  w.key("phases").begin_array();
+  for (const TimelinePhase& p : tl.phases) {
+    w.begin_object();
+    w.kv("seq", p.seq);
+    w.kv("label", p.label);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("breaches").begin_array();
+  for (const TimelineBreach& b : tl.breaches) {
+    w.begin_object();
+    w.kv("seq", b.seq);
+    w.kv("t", b.t);
+    w.kv("kind", b.kind);
+    if (!b.rule.empty()) {
+      w.kv("rule", b.rule);
+      w.kv("observed", b.observed);
+      w.kv("limit", b.limit);
+    }
+    if (b.intervals != 0) w.kv("intervals", b.intervals);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const TimelineInterval& r : tl.rows) {
+    w.begin_object();
+    w.kv("seq", r.seq);
+    w.kv("t", r.t);
+    w.kv("dt", r.dt);
+    w.kv("tasks_delta", r.tasks_delta);
+    w.kv("tasks_rate", r.tasks_rate);
+    w.kv("bytes_delta", r.bytes_delta);
+    w.kv("bytes_rate", r.bytes_rate);
+    w.kv("breaches", r.breaches);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void write_timeline_table(std::ostream& os, const Timeline& tl) {
+  {
+    Table t({"metric", "value"});
+    t.add_row({"intervals", std::to_string(tl.rows.size())});
+    t.add_row({"duration (s)", Table::num(tl.duration_seconds, 4)});
+    t.add_row({"phases", std::to_string(tl.phases.size())});
+    t.add_row({"breaches", std::to_string(tl.breaches.size())});
+    t.add_row({"total tasks", std::to_string(tl.total_tasks)});
+    t.add_row({"total bytes moved", std::to_string(tl.total_bytes)});
+    t.print(os);
+  }
+  if (!tl.rows.empty()) {
+    os << "\nInterval rates\n";
+    Table t({"seq", "t (s)", "tasks/s", "MiB/s", "events"});
+    std::size_t next_phase = 0;
+    for (const TimelineInterval& r : tl.rows) {
+      // A phase marker with seq S precedes the interval that carries S.
+      std::string events;
+      while (next_phase < tl.phases.size() &&
+             tl.phases[next_phase].seq <= r.seq) {
+        if (!events.empty()) events += ", ";
+        events += "| phase: " + tl.phases[next_phase].label;
+        ++next_phase;
+      }
+      if (r.breaches != 0) {
+        if (!events.empty()) events += ", ";
+        events += "BREACH x" + std::to_string(r.breaches);
+      }
+      t.add_row({std::to_string(r.seq), Table::num(r.t, 4),
+                 Table::num(r.tasks_rate, 1),
+                 Table::num(r.bytes_rate / (1024.0 * 1024.0), 2), events});
+    }
+    t.print(os);
+    for (; next_phase < tl.phases.size(); ++next_phase) {
+      os << "(trailing phase: " << tl.phases[next_phase].label << ")\n";
+    }
+  }
+  if (!tl.breaches.empty()) {
+    os << "\nBreaches\n";
+    Table t({"seq", "t (s)", "kind", "rule", "observed", "limit"});
+    for (const TimelineBreach& b : tl.breaches) {
+      t.add_row({std::to_string(b.seq), Table::num(b.t, 4), b.kind,
+                 b.kind == "stall"
+                     ? std::to_string(b.intervals) + " zero-progress intervals"
+                     : b.rule,
+                 Table::num(b.observed, 3), Table::num(b.limit, 3)});
+    }
+    t.print(os);
   }
 }
 

@@ -138,4 +138,56 @@ void write_analysis_json(std::ostream& os, const Analysis& a);
 /// placement-rationale tables.
 void write_analysis_tables(std::ostream& os, const Analysis& a);
 
+// ---- telemetry timeline (tahoe_inspect --timeline) ---------------------
+
+/// One telemetry interval, reduced to the headline rates.
+struct TimelineInterval {
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  double dt = 0.0;
+  std::uint64_t tasks_delta = 0;   ///< sim.tasks_executed + executor.tasks
+  double tasks_rate = 0.0;         ///< tasks_delta / dt
+  std::uint64_t bytes_delta = 0;   ///< sum of migrate.bytes.* deltas
+  double bytes_rate = 0.0;
+  std::uint64_t breaches = 0;      ///< breach lines at this seq
+};
+
+/// A {"type":"phase"} marker (run boundary).
+struct TimelinePhase {
+  std::uint64_t seq = 0;
+  std::string label;
+};
+
+/// A {"type":"breach"} line (SLO violation or stall).
+struct TimelineBreach {
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  std::string kind;   ///< "slo" or "stall"
+  std::string rule;   ///< original rule text ("" for stalls)
+  double observed = 0.0;
+  double limit = 0.0;
+  std::uint64_t intervals = 0;  ///< stall length (stall breaches only)
+};
+
+struct Timeline {
+  std::vector<TimelineInterval> rows;
+  std::vector<TimelinePhase> phases;
+  std::vector<TimelineBreach> breaches;
+  double duration_seconds = 0.0;   ///< last interval's t
+  std::uint64_t total_tasks = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Parse a telemetry JSONL stream (the --telemetry-out file) into a
+/// Timeline. Unknown line types are skipped; malformed JSON throws
+/// std::runtime_error (with the offending line number).
+Timeline analyze_timeline(const std::string& jsonl_text);
+
+/// Deterministic single-line JSON rendering of the timeline.
+void write_timeline_json(std::ostream& os, const Timeline& tl);
+
+/// Human-readable rendering: interval rate rows with phase boundaries and
+/// breach markers inline.
+void write_timeline_table(std::ostream& os, const Timeline& tl);
+
 }  // namespace tahoe::trace

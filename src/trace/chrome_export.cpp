@@ -109,12 +109,19 @@ void write_chrome_trace(
 }
 
 bool export_chrome_trace(Tracer& tracer, const std::string& path) {
+  return export_chrome_trace(tracer, path, {});
+}
+
+bool export_chrome_trace(Tracer& tracer, const std::string& path,
+                         const std::vector<TraceEvent>& retained) {
   std::ofstream os(path);
   if (!os) {
     TAHOE_WARN("cannot open trace output file '" << path << "'");
     return false;
   }
-  const std::vector<TraceEvent> events = tracer.drain();
+  std::vector<TraceEvent> events = retained;
+  const std::vector<TraceEvent> fresh = tracer.drain();
+  events.insert(events.end(), fresh.begin(), fresh.end());
   const std::uint64_t dropped = tracer.dropped();
   write_chrome_trace(os, events, tracer.track_names(), dropped);
   if (dropped > 0) {

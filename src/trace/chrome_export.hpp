@@ -30,4 +30,12 @@ void write_chrome_trace(
 /// generated "track <id>" label.
 bool export_chrome_trace(Tracer& tracer, const std::string& path);
 
+/// Same, but prepends `retained` — events the telemetry sampler already
+/// drained into the flight recorder's ring (FlightRecorder::take_retained)
+/// — so a run with both --trace-out and an armed flight recorder still
+/// exports its full timeline. The exporter sorts by timestamp, so the
+/// stitched stream reads identically to a single drain.
+bool export_chrome_trace(Tracer& tracer, const std::string& path,
+                         const std::vector<TraceEvent>& retained);
+
 }  // namespace tahoe::trace

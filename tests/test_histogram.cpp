@@ -110,6 +110,48 @@ TEST(Histogram, MergeIsBucketwiseSumAndMaxOfMax) {
   EXPECT_EQ(sa.buckets[Histogram::bucket_of(70000)], 1u);
 }
 
+TEST(Histogram, MergeEmptyIsIdentityBothWays) {
+  Histogram a;
+  a.record(3);
+  a.record(1000);
+  const HistogramSnapshot populated = a.snapshot();
+  const HistogramSnapshot empty{};
+
+  HistogramSnapshot lhs = populated;
+  lhs.merge(empty);
+  EXPECT_EQ(lhs.count(), populated.count());
+  EXPECT_EQ(lhs.sum, populated.sum);
+  EXPECT_EQ(lhs.max, populated.max);
+  EXPECT_EQ(lhs.p99(), populated.p99());
+
+  HistogramSnapshot rhs = empty;
+  rhs.merge(populated);
+  EXPECT_EQ(rhs.count(), populated.count());
+  EXPECT_EQ(rhs.sum, populated.sum);
+  EXPECT_EQ(rhs.max, populated.max);
+  EXPECT_EQ(rhs.p50(), populated.p50());
+}
+
+TEST(Histogram, MergeMismatchedDistributionsKeepsDigestsInRange) {
+  // Two snapshots with disjoint bucket populations: a cluster of small
+  // values and a cluster of large ones. The merged digest must sit inside
+  // the combined range and keep both populations' bucket counts intact.
+  Histogram small;
+  Histogram large;
+  for (int i = 0; i < 90; ++i) small.record(4);
+  for (int i = 0; i < 10; ++i) large.record(1'000'000);
+  HistogramSnapshot merged = small.snapshot();
+  merged.merge(large.snapshot());
+  EXPECT_EQ(merged.count(), 100u);
+  EXPECT_EQ(merged.max, 1'000'000u);
+  EXPECT_EQ(merged.buckets[Histogram::bucket_of(4)], 90u);
+  EXPECT_EQ(merged.buckets[Histogram::bucket_of(1'000'000)], 10u);
+  // p50 comes from the small cluster, p99 from the large one.
+  EXPECT_LE(merged.p50(), 7u);
+  EXPECT_GE(merged.p99(), 524288u);
+  EXPECT_LE(merged.p99(), merged.max);
+}
+
 TEST(Histogram, ResetZeroesEverything) {
   Histogram h;
   h.record(9);

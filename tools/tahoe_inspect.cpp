@@ -3,12 +3,17 @@
 //   tahoe_inspect --trace=run.trace.json
 //                 [--report=run.report.json] [--explain=run.explain.json]
 //                 [--format=table|json] [--out=analysis.json]
+//   tahoe_inspect --timeline=run.telemetry.jsonl [--format=table|json]
 //
 // Loads the Chrome trace (plus optional run report and --explain-out
 // documents), computes the DAG critical path, migration-overlap
 // efficiency, per-worker utilization and the placement rationale of the
 // final plan, and renders them as aligned tables (default) or as one
 // deterministic JSON object suitable for golden comparisons.
+//
+// --timeline mode instead reads a --telemetry-out JSONL stream and renders
+// per-interval task/byte rates with phase boundaries and SLO-breach
+// markers inline.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -44,9 +49,14 @@ std::optional<tahoe::trace::JsonValue> load_json(const std::string& path,
 
 int main(int argc, char** argv) {
   tahoe::Flags flags;
-  flags.define_string("trace", "", "Chrome trace JSON (required)");
+  flags.define_string("trace", "", "Chrome trace JSON (required unless "
+                                   "--timeline is given)");
   flags.define_string("report", "", "run report JSON (optional)");
   flags.define_string("explain", "", "planner --explain-out JSON (optional)");
+  flags.define_string("timeline", "",
+                      "telemetry JSONL stream (--telemetry-out); renders "
+                      "interval rates, phases and breach markers instead of "
+                      "the trace analysis");
   flags.define_string("format", "table", "output format: table or json");
   flags.define_string("out", "", "write output to this file instead of stdout");
 
@@ -57,15 +67,52 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string trace_path = flags.get_string("trace");
+  const std::string timeline_path = flags.get_string("timeline");
   const std::string format = flags.get_string("format");
-  if (trace_path.empty()) {
-    std::cerr << "tahoe_inspect: --trace is required\n"
+  if (trace_path.empty() && timeline_path.empty()) {
+    std::cerr << "tahoe_inspect: --trace or --timeline is required\n"
               << flags.usage(argv[0]);
     return 2;
   }
   if (format != "table" && format != "json") {
     std::cerr << "tahoe_inspect: --format must be 'table' or 'json'\n";
     return 2;
+  }
+
+  std::ofstream timeline_file_out;
+  if (!timeline_path.empty()) {
+    std::ifstream is(timeline_path);
+    if (!is) {
+      std::cerr << "tahoe_inspect: cannot open timeline file '"
+                << timeline_path << "'\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    tahoe::trace::Timeline timeline;
+    try {
+      timeline = tahoe::trace::analyze_timeline(buf.str());
+    } catch (const std::exception& e) {
+      std::cerr << "tahoe_inspect: failed to parse timeline '"
+                << timeline_path << "': " << e.what() << '\n';
+      return 1;
+    }
+    std::ostream* os = &std::cout;
+    if (!flags.get_string("out").empty()) {
+      timeline_file_out.open(flags.get_string("out"));
+      if (!timeline_file_out) {
+        std::cerr << "tahoe_inspect: cannot open output file '"
+                  << flags.get_string("out") << "'\n";
+        return 1;
+      }
+      os = &timeline_file_out;
+    }
+    if (format == "json") {
+      tahoe::trace::write_timeline_json(*os, timeline);
+    } else {
+      tahoe::trace::write_timeline_table(*os, timeline);
+    }
+    return 0;
   }
 
   const auto trace_doc = load_json(trace_path, "trace");

@@ -5,6 +5,7 @@
 //   tools/tahoe_sweep --out sweep.json [--workloads cg,mg]
 //       [--policies tahoe,static-dram,static-nvm] [--nvm-specs bw:0.5]
 //       [--scale test|bench] [--dram-mib 256] [--jobs 4] [--keep-cells]
+//       [--telemetry-interval 0.01] [--slo-rules "counter:...  < 5"]
 //
 // Each cell forks a child that runs one (workload, policy, nvm) scenario
 // through the bench runners with latency histograms enabled, appending its
@@ -35,9 +36,12 @@
 
 #include "bench_util.hpp"
 #include "common/flags.hpp"
+#include "trace/analyze.hpp"
 #include "trace/counters.hpp"
+#include "trace/flight.hpp"
 #include "trace/histogram.hpp"
 #include "trace/json.hpp"
+#include "trace/telemetry.hpp"
 
 namespace {
 
@@ -49,6 +53,15 @@ struct Cell {
   std::string nvm_spec;
   std::string report_path;
   std::string hist_path;
+  std::string telemetry_path;  ///< cell-prefixed telemetry JSONL ("" = off)
+  std::string flight_path;     ///< cell-prefixed flight dump destination
+};
+
+/// Per-cell telemetry settings forwarded into the children.
+struct SweepTelemetry {
+  double interval = 0.0;  ///< sampling cadence in seconds; 0 disables
+  std::string rules;      ///< --slo-rules pass-through
+  bool enabled() const { return interval > 0.0; }
 };
 
 std::vector<std::string> split_csv(const std::string& csv) {
@@ -62,8 +75,19 @@ std::vector<std::string> split_csv(const std::string& csv) {
 }
 
 /// Child body: run one scenario, write the cell's artifacts, never return.
-[[noreturn]] void run_cell(const Cell& cell, const bench::BenchConfig& base) {
+[[noreturn]] void run_cell(const Cell& cell, const bench::BenchConfig& base,
+                           const SweepTelemetry& tele) {
   trace::set_histograms_enabled(true);
+  if (tele.enabled()) {
+    trace::FlightRecorder::Config fc;
+    fc.out_path = cell.flight_path;
+    trace::flight().configure(fc);
+    trace::TelemetryConfig tc;
+    tc.out_path = cell.telemetry_path;
+    tc.interval_seconds = tele.interval;
+    tc.rules = trace::parse_slo_rules(tele.rules);
+    trace::telemetry().configure(tc);
+  }
   bench::BenchConfig config = base;
   config.nvm_spec = cell.nvm_spec;
   config.report_json = cell.report_path;
@@ -85,6 +109,8 @@ std::vector<std::string> split_csv(const std::string& csv) {
     std::_Exit(2);
   }
   (void)report;  // the runner already appended it to report_path
+  // _Exit skips destructors: flush the telemetry stream by hand.
+  trace::telemetry().shutdown();
 
   std::ofstream hist(cell.hist_path);
   trace::JsonWriter w(hist);
@@ -149,9 +175,18 @@ int main(int argc, char** argv) {
   flags.define_int("jobs", 4, "max concurrent child processes");
   flags.define_bool("keep-cells", false,
                     "keep the per-cell intermediate files");
+  flags.define_double("telemetry-interval", 0.0,
+                      "per-cell telemetry cadence in virtual seconds "
+                      "(0 = telemetry off)");
+  flags.define_string("slo-rules", "",
+                      "comma-separated SLO watchdog rules evaluated inside "
+                      "every cell (see --telemetry docs)");
   flags.parse(argc, argv);
 
   const std::string out = flags.get_string("out");
+  SweepTelemetry tele;
+  tele.interval = flags.get_double("telemetry-interval");
+  tele.rules = flags.get_string("slo-rules");
   bench::BenchConfig base;
   base.dram_capacity =
       static_cast<std::uint64_t>(flags.get_int("dram-mib")) * kMiB;
@@ -169,6 +204,10 @@ int main(int argc, char** argv) {
         const std::string stem = out + ".cell" + std::to_string(cells.size());
         cell.report_path = stem + ".report.jsonl";
         cell.hist_path = stem + ".hist.json";
+        if (tele.enabled()) {
+          cell.telemetry_path = stem + ".telemetry.jsonl";
+          cell.flight_path = stem + ".flight.json";
+        }
         cells.push_back(std::move(cell));
       }
     }
@@ -203,7 +242,7 @@ int main(int argc, char** argv) {
       std::cerr << "fork failed\n";
       return 1;
     }
-    if (pid == 0) run_cell(cells[i], base);  // never returns
+    if (pid == 0) run_cell(cells[i], base, tele);  // never returns
     running.emplace(pid, i);
   }
   while (!running.empty()) reap_one();
@@ -223,6 +262,7 @@ int main(int argc, char** argv) {
   std::vector<Run> runs;
   std::map<std::string, trace::HistogramSnapshot> merged;
   std::size_t failed_cells = 0;
+  std::size_t slo_breached_cells = 0;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const std::string line = first_line(read_file(cells[i].report_path));
     if (line.empty() && !cell_failed[i]) {
@@ -256,6 +296,20 @@ int main(int argc, char** argv) {
       for (const auto& [name, snap] : hist.at("histograms").object) {
         merged[name].merge(parse_snapshot(snap));
       }
+
+      // Telemetry and flight artifacts stay behind as cell-prefixed files
+      // regardless of --keep-cells — they are the sweep's observability
+      // record, not intermediates. Here we only scan for SLO breaches.
+      if (tele.enabled()) {
+        try {
+          const trace::Timeline tl =
+              trace::analyze_timeline(read_file(cells[i].telemetry_path));
+          if (!tl.breaches.empty()) ++slo_breached_cells;
+        } catch (const std::exception& e) {
+          std::cerr << "cell telemetry unreadable: "
+                    << cells[i].telemetry_path << ": " << e.what() << "\n";
+        }
+      }
     }
     if (!flags.get_bool("keep-cells")) {
       std::remove(cells[i].report_path.c_str());
@@ -265,7 +319,8 @@ int main(int argc, char** argv) {
 
   std::ofstream os(out);
   os << "{\"schema\":\"tahoe_sweep_v1\",\"cells\":" << cells.size()
-     << ",\"failed_cells\":" << failed_cells << ",\"runs\":[";
+     << ",\"failed_cells\":" << failed_cells
+     << ",\"slo_breached_cells\":" << slo_breached_cells << ",\"runs\":[";
   for (std::size_t i = 0; i < raw_runs.size(); ++i) {
     if (i != 0) os << ",";
     os << raw_runs[i];
@@ -344,6 +399,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "sweep: " << cells.size() << " cells";
   if (failed_cells != 0) std::cout << " (" << failed_cells << " failed)";
+  if (slo_breached_cells != 0) {
+    std::cout << " (" << slo_breached_cells << " SLO-breached)";
+  }
   std::cout << " -> " << out << "\n";
   return failed_cells == 0 ? 0 : 1;
 }
