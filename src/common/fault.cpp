@@ -16,6 +16,7 @@ const char* site_name(Site site) noexcept {
     case Site::DramReservation: return "dram_reservation";
     case Site::CopyStall: return "copy_stall";
     case Site::SamplerNoise: return "sampler_noise";
+    case Site::SegmentAlloc: return "segment_alloc";
     case Site::kNumSites: break;
   }
   return "unknown";
@@ -29,6 +30,7 @@ double FaultConfig::rate(Site site) const noexcept {
     case Site::DramReservation: return dram_reservation;
     case Site::CopyStall: return copy_stall;
     case Site::SamplerNoise: return sampler_noise;
+    case Site::SegmentAlloc: return segment_alloc;
     case Site::kNumSites: break;
   }
   return 0.0;
@@ -151,6 +153,8 @@ void register_flags(Flags& flags) {
                       "injected stall duration in milliseconds");
   flags.define_double("fault-sampler-noise", 0.0,
                       "max spurious-sample fraction added to counters, 0..1");
+  flags.define_double("fault-segment-alloc", 0.0,
+                      "P(segment metadata allocation fails), 0..1");
 }
 
 FaultConfig config_from_flags(const Flags& flags) {
@@ -163,6 +167,7 @@ FaultConfig config_from_flags(const Flags& flags) {
   config.copy_stall = flags.get_double("fault-copy-stall");
   config.copy_stall_seconds = flags.get_double("fault-copy-stall-ms") * 1e-3;
   config.sampler_noise = flags.get_double("fault-sampler-noise");
+  config.segment_alloc = flags.get_double("fault-segment-alloc");
   return config;
 }
 

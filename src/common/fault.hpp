@@ -38,6 +38,7 @@ enum class Site : std::size_t {
   DramReservation,      ///< planner-side DRAM reservation veto
   CopyStall,            ///< helper-thread copy stalls for a configured time
   SamplerNoise,         ///< spurious samples added to hardware counters
+  SegmentAlloc,         ///< hms::Segment metadata allocation fails
   kNumSites,
 };
 
@@ -55,6 +56,7 @@ struct FaultConfig {
   double copy_stall = 0.0;         ///< P(copy stalls) per engine request
   double copy_stall_seconds = 1e-3;  ///< injected stall duration (real path)
   double sampler_noise = 0.0;      ///< max spurious-sample fraction
+  double segment_alloc = 0.0;      ///< P(segment metadata alloc fails)
 
   double rate(Site site) const noexcept;
   bool any() const noexcept;

@@ -1,0 +1,106 @@
+// Self-relative pointers for segment-hosted (relocatable) data structures.
+//
+// An OffsetPtr<T> stores the signed byte distance from its *own address* to
+// the pointee instead of an absolute address. A structure built entirely
+// from OffsetPtrs can be mapped at any base address — or copied wholesale
+// into another process over shared memory — and every reference still
+// resolves, as long as pointer and pointee move together (i.e. both live in
+// the same contiguous segment). This is the primitive the hms storage layer
+// is built on; see src/hms/segment.hpp for the mapping that hosts it.
+//
+// Invariants:
+//  - offset 0 encodes null. A live OffsetPtr must therefore never point at
+//    its own first byte (the segment layout guarantees distinct addresses
+//    for any pointer cell and its pointee).
+//  - OffsetPtr is NOT trivially copyable by memcpy *individually*: copying
+//    the 8 raw bytes to a different address changes the pointee. Copy
+//    construction/assignment rebind correctly; whole-segment copies (same
+//    relative layout) are always safe.
+//  - The pointee type must be stored in the same mapping; pointing across
+//    mappings works only as long as neither side moves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tahoe {
+
+template <typename T>
+class OffsetPtr {
+ public:
+  OffsetPtr() = default;
+  OffsetPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  explicit OffsetPtr(T* p) { set(p); }
+
+  /// Copying rebinds the offset so the copy refers to the same pointee
+  /// from its own (possibly different) address.
+  OffsetPtr(const OffsetPtr& o) { set(o.get()); }
+  OffsetPtr& operator=(const OffsetPtr& o) {
+    set(o.get());
+    return *this;
+  }
+  OffsetPtr& operator=(T* p) {
+    set(p);
+    return *this;
+  }
+  OffsetPtr& operator=(std::nullptr_t) {
+    rel_ = 0;
+    return *this;
+  }
+
+  T* get() const noexcept {
+    if (rel_ == 0) return nullptr;
+    return reinterpret_cast<T*>(reinterpret_cast<std::intptr_t>(this) + rel_);
+  }
+
+  void set(T* p) noexcept {
+    rel_ = (p == nullptr) ? 0
+                          : reinterpret_cast<std::intptr_t>(p) -
+                                reinterpret_cast<std::intptr_t>(this);
+  }
+
+  T* operator->() const noexcept { return get(); }
+  T& operator*() const noexcept { return *get(); }
+  T& operator[](std::size_t i) const noexcept { return get()[i]; }
+
+  explicit operator bool() const noexcept { return rel_ != 0; }
+  bool operator==(std::nullptr_t) const noexcept { return rel_ == 0; }
+
+  /// Raw self-relative distance in bytes (diagnostics/tests).
+  std::int64_t raw_offset() const noexcept { return rel_; }
+
+ private:
+  std::int64_t rel_ = 0;  ///< pointee address minus this cell's address
+};
+
+/// A (self-relative pointer, count) pair: the segment-hosted replacement
+/// for std::span/std::vector views inside relocatable structures.
+template <typename T>
+class OffsetSpan {
+ public:
+  OffsetSpan() = default;
+  OffsetSpan(T* data, std::uint64_t count) : data_(data), count_(count) {}
+
+  T* data() const noexcept { return data_.get(); }
+  std::uint64_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  T* begin() const noexcept { return data_.get(); }
+  T* end() const noexcept { return data_.get() + count_; }
+  T& operator[](std::size_t i) const noexcept { return data_.get()[i]; }
+
+  void reset(T* data, std::uint64_t count) noexcept {
+    data_.set(data);
+    count_ = count;
+  }
+  void clear() noexcept {
+    data_ = nullptr;
+    count_ = 0;
+  }
+
+ private:
+  OffsetPtr<T> data_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace tahoe

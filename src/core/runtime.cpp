@@ -162,10 +162,10 @@ std::vector<ObjectInfo> collect_objects(const hms::ObjectRegistry& registry) {
     const hms::DataObject& obj = registry.get(id);
     ObjectInfo info;
     info.id = id;
-    info.name = obj.name;
+    info.name = std::string(obj.name());
     info.static_ref_estimate = obj.static_ref_estimate;
-    info.chunk_bytes.reserve(obj.chunks.size());
-    for (const hms::Chunk& c : obj.chunks) info.chunk_bytes.push_back(c.bytes);
+    info.chunk_bytes.reserve(obj.num_chunks());
+    for (const hms::Chunk& c : obj.chunks()) info.chunk_bytes.push_back(c.bytes);
     out.push_back(std::move(info));
   }
   return out;
@@ -180,8 +180,8 @@ std::vector<task::TierHint> compute_tier_hints(
   for (const hms::ObjectId id : registry.live_objects()) {
     const hms::DataObject& obj = registry.get(id);
     std::vector<memsim::DeviceId>& d = device[id];
-    d.reserve(obj.chunks.size());
-    for (const hms::Chunk& c : obj.chunks) d.push_back(c.device);
+    d.reserve(obj.num_chunks());
+    for (const hms::Chunk& c : obj.chunks()) d.push_back(c.device);
   }
   // ...and replay the plan's copies group by group: a copy with
   // needed_group g is complete before group g runs, so tasks of group >= g
@@ -301,7 +301,7 @@ RunReport Runtime::run(Application& app, Policy& policy) {
   task::SimExecutor executor;
   task::SimExecutor::Options opts;
   opts.unit_size = [&state](hms::ObjectId id, std::size_t chunk) {
-    return state.registry->get(id).chunks.at(chunk).bytes;
+    return state.registry->get(id).chunk(chunk).bytes;
   };
   opts.attribution = config_.attribution;
 

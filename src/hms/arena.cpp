@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/fault.hpp"
 #include "common/units.hpp"
+#include "trace/counters.hpp"
 
 namespace tahoe::hms {
 namespace {
@@ -13,14 +14,73 @@ std::uint64_t round_up(std::uint64_t v, std::uint64_t granule) {
   return (v + granule - 1) / granule * granule;
 }
 
+/// Metadata budget for a standalone arena's private segment: one RangeNode
+/// (48 B + allocator header) per live allocation, so 32 MiB of lazily
+/// paged reservation covers hundreds of thousands of blocks.
+constexpr std::uint64_t kStandaloneMetaBytes = 32 * kMiB;
+
 }  // namespace
 
 Arena::Arena(std::string name, std::uint64_t capacity, Backing backing)
     : name_(std::move(name)),
       capacity_(round_up(capacity, kCacheLine)),
-      backing_(backing) {
+      backing_(backing),
+      owned_segment_(std::make_unique<Segment>(kStandaloneMetaBytes)),
+      segment_(owned_segment_.get()) {
   TAHOE_REQUIRE(capacity > 0, "arena capacity must be positive");
-  free_ranges_.emplace(0, capacity_);
+  init(capacity_);
+}
+
+Arena::Arena(std::string name, std::uint64_t capacity, Backing backing,
+             Segment& segment)
+    : name_(std::move(name)),
+      capacity_(round_up(capacity, kCacheLine)),
+      backing_(backing),
+      segment_(&segment) {
+  TAHOE_REQUIRE(capacity > 0, "arena capacity must be positive");
+  init(capacity_);
+}
+
+void Arena::init(std::uint64_t capacity) {
+  void* root_mem = segment_->alloc(sizeof(ArenaRoot));
+  TAHOE_REQUIRE(root_mem != nullptr, "segment exhausted creating arena root");
+  auto* r = new (root_mem) ArenaRoot{};
+  const std::size_t n =
+      std::min(name_.size(), ArenaRoot::kNameCapacity - 1);
+  name_.copy(r->name, n);
+  r->capacity = capacity;
+  r->backing = static_cast<std::uint32_t>(backing_);
+  root_off_ = segment_->offset_of(root_mem);
+
+  // One free range spanning the whole arena.
+  void* node_mem = segment_->alloc(sizeof(RangeNode));
+  TAHOE_REQUIRE(node_mem != nullptr, "segment exhausted creating arena range");
+  auto* node = new (node_mem) RangeNode{};
+  node->offset = 0;
+  node->size = capacity;
+  r->range_head = segment_->offset_of(node);
+  r->node_count = 1;
+  r->free_count = 1;
+
+  meta_bytes_gauge_ = &trace::global_counters().gauge(
+      "hms.segment.arena." + name_ + ".meta_bytes");
+  free_ranges_gauge_ = &trace::global_counters().gauge(
+      "hms.segment.arena." + name_ + ".free_ranges");
+  publish_gauges_locked();
+}
+
+Arena::~Arena() {
+  // Payload buffers are process-heap allocations the segment does not own.
+  for (const auto& [p, node_off] : node_index_) {
+    (void)node_off;
+    delete[] static_cast<const std::byte*>(p);
+  }
+}
+
+void Arena::publish_gauges_locked() {
+  const ArenaRoot* r = root();
+  meta_bytes_gauge_->set(r->node_count * sizeof(RangeNode));
+  free_ranges_gauge_->set(r->free_count);
 }
 
 void* Arena::alloc(std::uint64_t size) {
@@ -33,25 +93,44 @@ void* Arena::alloc(std::uint64_t size) {
   }
   const std::uint64_t need = round_up(size, kCacheLine);
   const std::lock_guard<std::mutex> lock(mutex_);
-  // First fit over free ranges ordered by offset.
-  for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
-    if (it->second < need) continue;
-    Block block;
-    block.offset = it->first;
-    block.size = need;
+  ArenaRoot* r = root();
+  // First fit over the offset-ordered range list.
+  for (std::uint64_t off = r->range_head; off != 0;) {
+    RangeNode* node = node_at(off);
+    if (node->live != 0 || node->size < need) {
+      off = node->next;
+      continue;
+    }
+    if (node->size > need) {
+      // Split: the node becomes the live block, the remainder a new free
+      // range right after it. The split is the only path that needs fresh
+      // metadata; segment exhaustion here reads as arena exhaustion.
+      void* rest_mem = segment_->alloc(sizeof(RangeNode));
+      if (rest_mem == nullptr) return nullptr;
+      auto* rest = new (rest_mem) RangeNode{};
+      const std::uint64_t rest_off = segment_->offset_of(rest_mem);
+      rest->offset = node->offset + need;
+      rest->size = node->size - need;
+      rest->prev = off;
+      rest->next = node->next;
+      if (RangeNode* after = node_at(node->next)) after->prev = rest_off;
+      node->next = rest_off;
+      node->size = need;
+      r->node_count += 1;
+      r->free_count += 1;
+    }
     // Virtual backing allocates a 1-byte identity buffer: the pointer is
-    // unique (map key, migration identity) but carries no payload.
-    block.mem = std::make_unique<std::byte[]>(
-        backing_ == Backing::Real ? need : 1);
-    // Shrink or remove the free range.
-    const std::uint64_t rest = it->second - need;
-    const std::uint64_t rest_offset = it->first + need;
-    free_ranges_.erase(it);
-    if (rest > 0) free_ranges_.emplace(rest_offset, rest);
-    used_ += need;
-    void* p = block.mem.get();
-    blocks_.emplace(p, std::move(block));
-    return p;
+    // unique (index key, migration identity) but carries no payload.
+    auto* mem = new std::byte[backing_ == Backing::Real ? need : 1];
+    node->live = 1;
+    node->payload_addr =
+        static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(mem));
+    r->used += need;
+    r->live_count += 1;
+    r->free_count -= 1;
+    node_index_.emplace(mem, off);
+    publish_gauges_locked();
+    return mem;
   }
   return nullptr;
 }
@@ -59,60 +138,76 @@ void* Arena::alloc(std::uint64_t size) {
 void Arena::free(void* p) {
   TAHOE_REQUIRE(p != nullptr, "freeing nullptr");
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto it = blocks_.find(p);
-  TAHOE_REQUIRE(it != blocks_.end(), "pointer does not belong to arena " + name_);
-  const std::uint64_t offset = it->second.offset;
-  const std::uint64_t size = it->second.size;
-  blocks_.erase(it);
-  used_ -= size;
+  auto it = node_index_.find(p);
+  TAHOE_REQUIRE(it != node_index_.end(),
+                "pointer does not belong to arena " + name_);
+  const std::uint64_t off = it->second;
+  node_index_.erase(it);
+  delete[] static_cast<std::byte*>(p);
 
-  // Insert the range and coalesce with neighbours.
-  auto [ins, ok] = free_ranges_.emplace(offset, size);
-  TAHOE_ASSERT(ok, "double free of arena range");
-  // Coalesce with successor.
-  if (auto next = std::next(ins); next != free_ranges_.end() &&
-                                  ins->first + ins->second == next->first) {
-    ins->second += next->second;
-    free_ranges_.erase(next);
+  ArenaRoot* r = root();
+  RangeNode* node = node_at(off);
+  TAHOE_ASSERT(node->live == 1, "arena index points at a free range");
+  node->live = 0;
+  node->payload_addr = 0;
+  r->used -= node->size;
+  r->live_count -= 1;
+  r->free_count += 1;
+
+  // Coalesce with the successor, then the predecessor; list order is
+  // offset order, so neighbours in the list are neighbours in the arena's
+  // address space. Merged nodes return to the segment heap (which never
+  // fails), so free() as a whole never allocates.
+  if (RangeNode* next = node_at(node->next); next != nullptr && next->live == 0) {
+    node->size += next->size;
+    node->next = next->next;
+    if (RangeNode* after = node_at(next->next)) after->prev = off;
+    segment_->free(next);
+    r->node_count -= 1;
+    r->free_count -= 1;
   }
-  // Coalesce with predecessor.
-  if (ins != free_ranges_.begin()) {
-    auto prev = std::prev(ins);
-    if (prev->first + prev->second == ins->first) {
-      prev->second += ins->second;
-      free_ranges_.erase(ins);
+  if (RangeNode* prev = node_at(node->prev); prev != nullptr && prev->live == 0) {
+    prev->size += node->size;
+    prev->next = node->next;
+    if (RangeNode* after = node_at(node->next)) {
+      after->prev = node->prev;
     }
+    segment_->free(node);
+    r->node_count -= 1;
+    r->free_count -= 1;
   }
+  publish_gauges_locked();
 }
 
 bool Arena::owns(const void* p) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return blocks_.contains(p);
+  return node_index_.contains(p);
 }
 
 std::uint64_t Arena::used() const noexcept {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return used_;
+  return root()->used;
 }
 
 std::uint64_t Arena::free_bytes() const noexcept {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return capacity_ - used_;
+  return capacity_ - root()->used;
 }
 
 std::uint64_t Arena::largest_free_range() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t best = 0;
-  for (const auto& [offset, size] : free_ranges_) {
-    (void)offset;
-    best = std::max(best, size);
+  for (std::uint64_t off = root()->range_head; off != 0;) {
+    const RangeNode* node = node_at(off);
+    if (node->live == 0) best = std::max(best, node->size);
+    off = node->next;
   }
   return best;
 }
 
 std::size_t Arena::live_allocations() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return blocks_.size();
+  return root()->live_count;
 }
 
 }  // namespace tahoe::hms

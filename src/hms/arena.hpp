@@ -7,6 +7,13 @@
 // and testable), while each live allocation is backed by its own host
 // buffer — this lets the test/bench configurations model multi-GiB NVM
 // tiers without reserving that much physical memory up front.
+//
+// All range bookkeeping (ArenaRoot + the offset-ordered RangeNode list,
+// see layout.hpp) lives inside an hms::Segment, linked by segment-relative
+// offsets, so an attached or relocated copy of the segment exposes the
+// full fragmentation state of every tier. Only the payload buffers (and a
+// pointer->node acceleration index that any attacher could rebuild from
+// the list) stay process-local.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +22,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+
+#include "hms/layout.hpp"
+#include "hms/segment.hpp"
+
+namespace tahoe::trace {
+class Counter;
+}
 
 namespace tahoe::hms {
 
@@ -25,8 +39,16 @@ enum class Backing { Real, Virtual };
 
 class Arena {
  public:
+  /// Standalone arena: hosts its metadata in a private segment.
   Arena(std::string name, std::uint64_t capacity,
         Backing backing = Backing::Real);
+
+  /// Arena whose metadata lives in `segment` (the registry's shared
+  /// segment). The segment must outlive the arena.
+  Arena(std::string name, std::uint64_t capacity, Backing backing,
+        Segment& segment);
+
+  ~Arena();
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
@@ -51,22 +73,32 @@ class Arena {
   std::uint64_t largest_free_range() const;
   std::size_t live_allocations() const;
 
+  /// Segment offset of this arena's ArenaRoot (what walkers start from).
+  std::uint64_t root_offset() const noexcept { return root_off_; }
+
  private:
-  struct Block {
-    std::uint64_t offset = 0;
-    std::uint64_t size = 0;
-    std::unique_ptr<std::byte[]> mem;
-  };
+  void init(std::uint64_t capacity);
+  ArenaRoot* root() const { return segment_->at_as<ArenaRoot>(root_off_); }
+  RangeNode* node_at(std::uint64_t off) const {
+    return off == 0 ? nullptr : segment_->at_as<RangeNode>(off);
+  }
+  void publish_gauges_locked();
 
   std::string name_;
-  std::uint64_t capacity_;
+  std::uint64_t capacity_ = 0;
   Backing backing_;
+  /// Private metadata segment for standalone arenas; null when the
+  /// metadata lives in a caller-provided (registry) segment.
+  std::unique_ptr<Segment> owned_segment_;
+  Segment* segment_ = nullptr;
+  std::uint64_t root_off_ = 0;
   mutable std::mutex mutex_;
-  std::uint64_t used_ = 0;
-  /// Free ranges keyed by logical offset; adjacent ranges are coalesced.
-  std::map<std::uint64_t, std::uint64_t> free_ranges_;
-  /// Live blocks keyed by backing pointer.
-  std::map<const void*, Block> blocks_;
+  /// Process-local pointer->node index so free()/owns() stay O(log n).
+  /// Pure acceleration: the segment's range list is the source of truth
+  /// and an attacher can rebuild this map by walking it.
+  std::map<const void*, std::uint64_t> node_index_;
+  trace::Counter* meta_bytes_gauge_ = nullptr;
+  trace::Counter* free_ranges_gauge_ = nullptr;
 };
 
 }  // namespace tahoe::hms

@@ -1,18 +1,43 @@
 #include "hms/data_object.hpp"
 
+#include <cstring>
+
 #include "common/assert.hpp"
+#include "common/log.hpp"
 
 namespace tahoe::hms {
 
+void DataObject::set_name(std::string_view name) noexcept {
+  std::size_t n = name.size();
+  if (n > kNameCapacity - 1) {
+    TAHOE_WARN("object name '" << std::string(name.substr(0, 16))
+                               << "...' exceeds " << (kNameCapacity - 1)
+                               << " chars; truncating");
+    n = kNameCapacity - 1;
+  }
+  std::memcpy(name_, name.data(), n);
+  name_[n] = '\0';
+}
+
+Chunk& DataObject::chunk(std::size_t i) {
+  TAHOE_REQUIRE(i < chunks_.size(), "chunk index out of range");
+  return chunks_[i];
+}
+
+const Chunk& DataObject::chunk(std::size_t i) const {
+  TAHOE_REQUIRE(i < chunks_.size(), "chunk index out of range");
+  return chunks_[i];
+}
+
 memsim::DeviceId DataObject::device() const {
-  TAHOE_REQUIRE(chunks.size() == 1,
+  TAHOE_REQUIRE(chunks_.size() == 1,
                 "device() is only defined for unchunked objects");
-  return chunks.front().device;
+  return chunks_[0].device;
 }
 
 std::uint64_t DataObject::bytes_on(memsim::DeviceId dev) const noexcept {
   std::uint64_t total = 0;
-  for (const Chunk& c : chunks) {
+  for (const Chunk& c : chunks()) {
     if (c.device == dev) total += c.bytes;
   }
   return total;

@@ -6,19 +6,48 @@
 // chunk carries its own placement and backing pointer, enabling the
 // "handling large data objects" optimization (chunk-granular migration of
 // regular 1-D arrays).
+//
+// Layout note: DataObject is a *segment-resident* structure (it lives in
+// the registry's hms::Segment, see segment.hpp). It therefore holds no
+// heap-owning members — the name is an inline fixed-capacity array, the
+// chunk array and alias table are OffsetSpans into the same segment, and
+// payload buffers (which live on the process heap, outside the segment)
+// are referenced by integer address, never dereferenced by relocation
+// walks.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <string>
-#include <vector>
+#include <span>
+#include <string_view>
 
+#include "common/offset_ptr.hpp"
 #include "memsim/access.hpp"
 
 namespace tahoe::hms {
 
+/// Generation-tagged object handle: low 24 bits are the registry slot
+/// index, high 8 bits the slot's generation at creation time. Slots are
+/// reused after destroy(); the generation tag makes stale ids detectable.
+/// While no object is ever destroyed (the common case for whole-run
+/// workloads), ids are numerically equal to creation order, exactly as the
+/// pre-segment registry assigned them.
 using ObjectId = std::uint32_t;
 inline constexpr ObjectId kInvalidObject = 0xffffffffu;
+
+inline constexpr std::uint32_t kObjectSlotBits = 24;
+inline constexpr std::uint32_t kObjectSlotMask = 0x00ffffffu;
+
+constexpr ObjectId make_object_id(std::uint32_t generation,
+                                  std::uint32_t slot) noexcept {
+  return ((generation & 0xffu) << kObjectSlotBits) | (slot & kObjectSlotMask);
+}
+constexpr std::uint32_t object_slot(ObjectId id) noexcept {
+  return id & kObjectSlotMask;
+}
+constexpr std::uint32_t object_generation(ObjectId id) noexcept {
+  return id >> kObjectSlotBits;
+}
 
 /// Owner (tenant) tag for multi-tenant accounting; kNoOwner for the
 /// single-application case.
@@ -28,43 +57,89 @@ inline constexpr OwnerId kNoOwner = 0xffffffffu;
 struct Chunk {
   std::uint64_t bytes = 0;
   memsim::DeviceId device = memsim::kNvm;
-  /// Current backing storage. Atomic: kernels read it at task start while
-  /// the helper thread may be redirecting other chunks.
-  std::atomic<std::byte*> ptr{nullptr};
+  std::uint32_t pad_ = 0;
+  /// Current backing storage, as an integer address: the payload lives on
+  /// the process heap (outside the segment), so this is deliberately not a
+  /// pointer — relocation walks read chunk metadata without ever
+  /// dereferencing it. Atomic: kernels read it at task start while the
+  /// helper thread may be redirecting other chunks.
+  std::atomic<std::uint64_t> addr{0};
+
+  std::byte* data() const noexcept {
+    return reinterpret_cast<std::byte*>(
+        static_cast<std::uintptr_t>(addr.load(std::memory_order_acquire)));
+  }
+  void set_data(std::byte* p) noexcept {
+    addr.store(static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p)),
+               std::memory_order_release);
+  }
 
   Chunk() = default;
   Chunk(const Chunk& o)
-      : bytes(o.bytes), device(o.device), ptr(o.ptr.load()) {}
+      : bytes(o.bytes), device(o.device), addr(o.addr.load()) {}
   Chunk& operator=(const Chunk& o) {
     bytes = o.bytes;
     device = o.device;
-    ptr.store(o.ptr.load());
+    addr.store(o.addr.load());
     return *this;
   }
 };
 
+/// One application alias slot (a `void**` the app registered), stored as an
+/// integer address for the same reason as Chunk::addr.
+struct AliasSlot {
+  std::uint64_t slot_addr = 0;
+};
+
 struct DataObject {
+  /// Inline name capacity including the NUL terminator; longer names are
+  /// truncated (with a warning) at creation.
+  static constexpr std::size_t kNameCapacity = 64;
+
   ObjectId id = kInvalidObject;
-  std::string name;
+  /// Owning tenant (serving runs); kNoOwner outside multi-tenant mode.
+  OwnerId owner = kNoOwner;
   std::uint64_t bytes = 0;
-  std::vector<Chunk> chunks;
-  /// Alias slots registered by the application; rewritten after migration
-  /// (only meaningful for unchunked objects, as in the paper line).
-  std::vector<void**> aliases;
   /// Static (compiler-analysis style) estimate of total references, used
   /// by the initial-placement optimization. 0 = unknown.
   double static_ref_estimate = 0.0;
-  /// Owning tenant (serving runs); kNoOwner outside multi-tenant mode.
-  OwnerId owner = kNoOwner;
 
-  std::size_t num_chunks() const noexcept { return chunks.size(); }
-  bool chunked() const noexcept { return chunks.size() > 1; }
+  std::string_view name() const noexcept { return {name_}; }
+  void set_name(std::string_view name) noexcept;
+
+  std::span<Chunk> chunks() noexcept { return {chunks_.data(), chunks_.size()}; }
+  std::span<const Chunk> chunks() const noexcept {
+    return {chunks_.data(), chunks_.size()};
+  }
+  /// Bounds-checked chunk access (the std::vector::at() replacement).
+  Chunk& chunk(std::size_t i);
+  const Chunk& chunk(std::size_t i) const;
+
+  std::size_t num_chunks() const noexcept { return chunks_.size(); }
+  bool chunked() const noexcept { return chunks_.size() > 1; }
 
   /// Device of an unchunked object (requires num_chunks() == 1).
   memsim::DeviceId device() const;
 
   /// Bytes of the object currently resident on `dev`.
   std::uint64_t bytes_on(memsim::DeviceId dev) const noexcept;
+
+  std::span<const AliasSlot> aliases() const noexcept {
+    return {aliases_.get(), alias_count_};
+  }
+
+  // Segment-resident: copying would silently alias the chunk/alias arrays.
+  DataObject() = default;
+  DataObject(const DataObject&) = delete;
+  DataObject& operator=(const DataObject&) = delete;
+
+ private:
+  friend class ObjectRegistry;
+  char name_[kNameCapacity] = {};
+  OffsetSpan<Chunk> chunks_;
+  OffsetPtr<AliasSlot> aliases_;
+  std::uint32_t alias_count_ = 0;
+  std::uint32_t alias_capacity_ = 0;
 };
 
 }  // namespace tahoe::hms

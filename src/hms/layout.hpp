@@ -1,0 +1,98 @@
+// Segment-resident layouts shared by the registry, the arenas and the
+// relocation walker.
+//
+// Everything in this header lives *inside* an hms::Segment and obeys the
+// relocatability rules: references to other segment-resident structures
+// are OffsetPtrs or segment-relative u64 offsets (0 = null), references to
+// process-heap payload buffers are integer addresses that walkers never
+// dereference, and all fields are plain integers/inline arrays so an
+// attached copy of the bytes is directly interpretable.
+//
+// The map of a live segment:
+//
+//   offset 0                SegmentHeader (magic, version, allocator state,
+//                           root offset -> RegistryRoot)
+//   root                    RegistryRoot (tier count, slot-table geometry,
+//                           intrusive slot free list, arena root offsets)
+//   root->slots             ObjectSlot[slot_capacity] (generation-tagged;
+//                           each holds a DataObject inline)
+//   per object              Chunk[] arrays and AliasSlot[] tables,
+//                           allocated from the segment heap
+//   per tier                ArenaRoot + an offset-linked, offset-ordered
+//                           list of RangeNodes (live blocks and free
+//                           ranges interleaved)
+#pragma once
+
+#include <cstdint>
+
+#include "common/offset_ptr.hpp"
+#include "hms/data_object.hpp"
+
+namespace tahoe::hms {
+
+/// Registry slot free-list terminator (slot indices are 24-bit, so this
+/// can never collide with a real slot).
+inline constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// Upper bound on tiers a registry segment describes; matches the fixed
+/// arena_root array below so walkers need no dynamic allocation to find
+/// the arenas.
+inline constexpr std::size_t kMaxTiers = 16;
+
+/// One entry of the registry's fixed-capacity object table. The
+/// generation counts how many times the slot has been recycled; an
+/// ObjectId embeds the low 8 bits, making stale handles detectable.
+struct ObjectSlot {
+  std::uint32_t generation = 0;
+  std::uint32_t in_use = 0;
+  std::uint32_t next_free = kNoSlot;  ///< intrusive free list (slot index)
+  std::uint32_t pad_ = 0;
+  DataObject object;
+};
+
+/// One node of an arena's range list: either a live allocation or a free
+/// range. The list is doubly linked (segment offsets, 0 = null) and kept
+/// ordered by logical offset, so adjacency in the list is adjacency in the
+/// arena's address space and coalescing is a neighbour check. Using one
+/// node type for both states means free() converts a node in place and
+/// never needs to allocate.
+struct RangeNode {
+  std::uint64_t offset = 0;        ///< logical offset within the arena
+  std::uint64_t size = 0;          ///< granule-rounded size in bytes
+  std::uint64_t payload_addr = 0;  ///< process-heap buffer; 0 for free ranges
+  std::uint64_t next = 0;          ///< segment offset of next node (0 = null)
+  std::uint64_t prev = 0;          ///< segment offset of prev node (0 = null)
+  std::uint32_t live = 0;          ///< 1 = live block, 0 = free range
+  std::uint32_t pad_ = 0;
+};
+static_assert(sizeof(RangeNode) == 48, "RangeNode layout is part of the ABI");
+
+/// Per-arena root describing one tier's offset heap.
+struct ArenaRoot {
+  static constexpr std::size_t kNameCapacity = 32;
+
+  char name[kNameCapacity] = {};
+  std::uint64_t capacity = 0;
+  std::uint64_t used = 0;
+  std::uint64_t range_head = 0;  ///< first RangeNode by offset (0 = empty)
+  std::uint64_t node_count = 0;  ///< nodes on the range list
+  std::uint64_t live_count = 0;  ///< live blocks
+  std::uint64_t free_count = 0;  ///< free ranges
+  std::uint32_t backing = 0;     ///< hms::Backing as an integer
+  std::uint32_t pad_ = 0;
+};
+
+/// The structure the segment header's root offset points at: everything a
+/// walker needs to enumerate objects and arenas.
+struct RegistryRoot {
+  std::uint32_t num_tiers = 0;
+  std::uint32_t slot_capacity = 0;
+  std::uint32_t free_head = kNoSlot;  ///< intrusive slot free list
+  std::uint32_t live_count = 0;
+  std::uint32_t high_slot = 0;  ///< slots ever claimed (walk bound)
+  std::uint32_t pad_ = 0;
+  std::uint64_t arena_root[kMaxTiers] = {};  ///< ArenaRoot offsets, 0 = unset
+  OffsetPtr<ObjectSlot> slots;
+};
+
+}  // namespace tahoe::hms

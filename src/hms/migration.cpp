@@ -85,8 +85,8 @@ void MigrationEngine::execute(const MigrationRequest& req) {
   trace::Tracer& tracer = trace::global();
   const bool traced = tracer.enabled();
   const DataObject& obj = registry_.get(req.object);
-  const std::uint64_t bytes = obj.chunks.at(req.chunk).bytes;
-  const memsim::DeviceId src = obj.chunks.at(req.chunk).device;
+  const std::uint64_t bytes = obj.chunk(req.chunk).bytes;
+  const memsim::DeviceId src = obj.chunk(req.chunk).device;
   const bool hist = trace::histograms_enabled();
   const double begin = (traced || hist) ? trace::now_seconds() : 0.0;
 

@@ -6,8 +6,18 @@
 // allocate-copy-free with atomic pointer redirection plus rewriting of any
 // registered alias slots — the mechanism the paper line uses so that
 // applications keep working unmodified after a move.
+//
+// Storage: every registry-managed structure (the slot table, the
+// DataObjects, their chunk arrays and alias tables, the arenas' range
+// lists) lives inside one hms::Segment and is linked only by self-relative
+// offsets — see layout.hpp for the map. The registry hands out
+// generation-tagged ObjectIds into a fixed-capacity slot table with an
+// intrusive free list, so destroyed slots are recycled and stale ids are
+// detected. Statistics, mutexes and the fallback configuration stay
+// process-local: they are this runtime's view, not shared state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -17,6 +27,8 @@
 
 #include "hms/arena.hpp"
 #include "hms/data_object.hpp"
+#include "hms/layout.hpp"
+#include "hms/segment.hpp"
 #include "memsim/access.hpp"
 
 namespace tahoe::hms {
@@ -45,6 +57,11 @@ enum class MigrateResult { kMoved, kAlreadyThere, kNoSpace, kAborted };
 
 class ObjectRegistry {
  public:
+  /// Slots in the object table. Generous relative to any workload in the
+  /// repo; the table is a lazily paged segment allocation, so unused slots
+  /// cost no physical memory.
+  static constexpr std::uint32_t kDefaultSlotCapacity = 65536;
+
   /// One capacity per tier, indexed by DeviceId (kDram, kNvm, ...).
   /// Virtual backing skips payload allocation and copies — simulation-only
   /// runs use it to model multi-GiB tiers cheaply.
@@ -63,7 +80,8 @@ class ObjectRegistry {
   ObjectId create(const std::string& name, std::uint64_t bytes,
                   memsim::DeviceId initial, std::size_t num_chunks = 1);
 
-  /// Destroy an object and release its storage.
+  /// Destroy an object and release its storage. The slot is recycled with
+  /// a bumped generation, so the old id becomes detectably stale.
   void destroy(ObjectId id);
 
   const DataObject& get(ObjectId id) const;
@@ -126,6 +144,12 @@ class ObjectRegistry {
   /// Total footprint of `owner`-tagged objects across all tiers.
   std::uint64_t total_bytes_owned(OwnerId owner) const;
 
+  /// The segment hosting every registry-managed structure. Copy its bytes
+  /// (or fork) and Segment::attach() the image to walk this registry from
+  /// anywhere — see walk.hpp.
+  Segment& segment() noexcept { return segment_; }
+  const Segment& segment() const noexcept { return segment_; }
+
  private:
   /// Allocate `bytes` on `initial`, retrying through injected failures and
   /// falling back to the other tiers (Unimem-style fallback-to-NVM
@@ -134,15 +158,30 @@ class ObjectRegistry {
   void* alloc_with_fallback(std::uint64_t bytes, memsim::DeviceId initial,
                             memsim::DeviceId& chosen);
 
+  RegistryRoot* root() const { return segment_.at_as<RegistryRoot>(root_off_); }
+  ObjectSlot* slot_at(std::uint32_t index) const {
+    return root()->slots.get() + index;
+  }
+  /// Validate a generation-tagged id and return its slot; throws
+  /// ContractError on unknown/stale ids. Caller holds mutex_.
+  ObjectSlot& resolve(ObjectId id) const;
+  void publish_gauges_locked();
+
   Backing backing_;
+  Segment segment_;
+  std::uint64_t root_off_ = 0;
   std::vector<std::unique_ptr<Arena>> arenas_;
   std::vector<memsim::TierId> fallback_order_;  ///< empty = device order
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<DataObject>> objects_;  // index = ObjectId
   MigrationStats stats_;
-  /// Objects already warned about a failed DRAM reservation (warn once per
-  /// object; the counter keeps the full tally).
-  std::vector<bool> warned_no_space_;
+  /// Destination tiers already warned about a refused (no-space) migration
+  /// — warn once per tier; the counter keeps the full tally. Atomic flags:
+  /// concurrent alloc/migration paths may race on the first warning.
+  std::unique_ptr<std::atomic<bool>[]> warned_no_space_;
+  trace::Counter* slots_live_gauge_ = nullptr;
+  trace::Counter* bytes_used_gauge_ = nullptr;
+  trace::Counter* freelist_blocks_gauge_ = nullptr;
+  trace::Counter* freelist_bytes_gauge_ = nullptr;
 };
 
 /// Typed view over an unchunked object. The pointer is re-read on every

@@ -58,9 +58,14 @@ struct Machine {
 
   /// Deprecated: two-tier convenience accessors. Prefer tier(TierId) (or
   /// tier(fastest_tier()) / tier(capacity_tier())) — these only make sense
-  /// on two-tier machines and will be removed once nothing names them.
-  const DeviceModel& dram() const { return tier(kDram); }
-  const DeviceModel& nvm() const { return tier(kNvm); }
+  /// on two-tier machines. No in-tree caller remains; the attribute makes
+  /// any new use a hard error under -Werror until they are removed.
+  [[deprecated("use tier(kDram) instead")]] const DeviceModel& dram() const {
+    return tier(kDram);
+  }
+  [[deprecated("use tier(kNvm) instead")]] const DeviceModel& nvm() const {
+    return tier(kNvm);
+  }
 
   /// Copy-engine ceiling for a (src, dst) copy: the per-pair override when
   /// one is registered, else the machine-wide copy_engine_bw.

@@ -78,14 +78,14 @@ void TenantManager::apply(const core::TenantPlacementPlan& plan,
   for (const hms::ObjectId id : registry_.live_objects()) {
     const hms::DataObject& obj = registry_.get(id);
     for (std::size_t c = 0; c < obj.num_chunks(); ++c) {
-      placement.set(id, c, obj.chunks[c].device);
+      placement.set(id, c, obj.chunk(c).device);
     }
   }
 }
 
 std::uint64_t TenantManager::unit_bytes(hms::ObjectId id,
                                         std::size_t chunk) const {
-  return registry_.get(id).chunks.at(chunk).bytes;
+  return registry_.get(id).chunk(chunk).bytes;
 }
 
 }  // namespace tahoe::serve

@@ -1,6 +1,7 @@
 #include "trace/analyze.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <set>
 #include <sstream>
@@ -638,6 +639,130 @@ void write_timeline_table(std::ostream& os, const Timeline& tl) {
                      ? std::to_string(b.intervals) + " zero-progress intervals"
                      : b.rule,
                  Table::num(b.observed, 3), Table::num(b.limit, 3)});
+    }
+    t.print(os);
+  }
+}
+
+// ---- segment stats -----------------------------------------------------
+
+namespace {
+
+constexpr const char* kArenaPrefix = "hms.segment.arena.";
+
+std::uint64_t metric_u64(const JsonValue& v) {
+  return v.is_number() ? static_cast<std::uint64_t>(v.number) : 0;
+}
+
+SegmentArenaRow& arena_row(SegmentStats& s, const std::string& name) {
+  for (SegmentArenaRow& row : s.arenas) {
+    if (row.name == name) return row;
+  }
+  s.arenas.push_back(SegmentArenaRow{name, 0, 0});
+  return s.arenas.back();
+}
+
+}  // namespace
+
+SegmentStats analyze_segment_stats(const JsonValue& report) {
+  SegmentStats s;
+  if (report.has("counters") && report.at("counters").is_object()) {
+    for (const auto& [name, v] : report.at("counters").object) {
+      if (name == "hms.segment.allocs") {
+        s.allocs = metric_u64(v);
+        s.present = true;
+      } else if (name == "hms.segment.frees") {
+        s.frees = metric_u64(v);
+        s.present = true;
+      }
+    }
+  }
+  if (report.has("gauges") && report.at("gauges").is_object()) {
+    for (const auto& [name, v] : report.at("gauges").object) {
+      if (!starts_with(name, "hms.segment.")) continue;
+      s.present = true;
+      if (name == "hms.segment.slots_live") {
+        s.slots_live = metric_u64(v);
+      } else if (name == "hms.segment.slot_capacity") {
+        s.slot_capacity = metric_u64(v);
+      } else if (name == "hms.segment.bytes_used") {
+        s.bytes_used = metric_u64(v);
+      } else if (name == "hms.segment.bytes_capacity") {
+        s.bytes_capacity = metric_u64(v);
+      } else if (name == "hms.segment.freelist_blocks") {
+        s.freelist_blocks = metric_u64(v);
+      } else if (name == "hms.segment.freelist_bytes") {
+        s.freelist_bytes = metric_u64(v);
+      } else if (starts_with(name, kArenaPrefix)) {
+        // hms.segment.arena.<name>.<metric>; arena names contain no dots.
+        const std::string tail = name.substr(std::strlen(kArenaPrefix));
+        const std::size_t dot = tail.rfind('.');
+        if (dot == std::string::npos || dot == 0) continue;
+        const std::string arena = tail.substr(0, dot);
+        const std::string metric = tail.substr(dot + 1);
+        if (metric == "meta_bytes") {
+          arena_row(s, arena).meta_bytes = metric_u64(v);
+        } else if (metric == "free_ranges") {
+          arena_row(s, arena).free_ranges = metric_u64(v);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+void write_segment_stats_json(std::ostream& os, const SegmentStats& s) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "tahoe_segment_stats_v1");
+  w.kv("present", s.present);
+  w.kv("allocs", s.allocs);
+  w.kv("frees", s.frees);
+  w.kv("slots_live", s.slots_live);
+  w.kv("slot_capacity", s.slot_capacity);
+  w.kv("bytes_used", s.bytes_used);
+  w.kv("bytes_capacity", s.bytes_capacity);
+  w.kv("occupancy", s.occupancy());
+  w.kv("freelist_blocks", s.freelist_blocks);
+  w.kv("freelist_bytes", s.freelist_bytes);
+  w.key("arenas").begin_array();
+  for (const SegmentArenaRow& row : s.arenas) {
+    w.begin_object();
+    w.kv("name", row.name);
+    w.kv("meta_bytes", row.meta_bytes);
+    w.kv("free_ranges", row.free_ranges);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+void write_segment_stats_table(std::ostream& os, const SegmentStats& s) {
+  if (!s.present) {
+    os << "(no hms.segment.* metrics in this report — run with a "
+          "segment-hosted registry)\n";
+    return;
+  }
+  {
+    Table t({"metric", "value"});
+    t.add_row({"segment allocs", std::to_string(s.allocs)});
+    t.add_row({"segment frees", std::to_string(s.frees)});
+    t.add_row({"live slots", std::to_string(s.slots_live) + " / " +
+                                 std::to_string(s.slot_capacity)});
+    t.add_row({"metadata bytes", std::to_string(s.bytes_used) + " / " +
+                                     std::to_string(s.bytes_capacity)});
+    t.add_row({"occupancy", Table::num(s.occupancy() * 100.0, 3) + " %"});
+    t.add_row({"freelist blocks", std::to_string(s.freelist_blocks)});
+    t.add_row({"freelist bytes", std::to_string(s.freelist_bytes)});
+    t.print(os);
+  }
+  if (!s.arenas.empty()) {
+    os << "\nArena metadata\n";
+    Table t({"arena", "meta bytes", "free ranges"});
+    for (const SegmentArenaRow& row : s.arenas) {
+      t.add_row({row.name, std::to_string(row.meta_bytes),
+                 std::to_string(row.free_ranges)});
     }
     t.print(os);
   }

@@ -190,4 +190,53 @@ void write_timeline_json(std::ostream& os, const Timeline& tl);
 /// breach markers inline.
 void write_timeline_table(std::ostream& os, const Timeline& tl);
 
+// ---- segment stats (tahoe_inspect --segment-stats) ---------------------
+
+/// Metadata footprint of one arena's range list inside the registry
+/// segment (from the hms.segment.arena.<name>.* gauges).
+struct SegmentArenaRow {
+  std::string name;
+  std::uint64_t meta_bytes = 0;   ///< RangeNode bytes in the segment
+  std::uint64_t free_ranges = 0;  ///< free ranges on the arena's list
+
+  bool operator==(const SegmentArenaRow&) const = default;
+};
+
+/// Storage-layer digest of the hms::Segment hosting the object registry,
+/// reconstructed from a report document's hms.segment.* counters/gauges.
+struct SegmentStats {
+  bool present = false;  ///< any hms.segment.* metric appeared in the report
+  // Monotonic counters (segment-allocator call totals).
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  // Gauges (levels at report time).
+  std::uint64_t slots_live = 0;       ///< live object slots
+  std::uint64_t slot_capacity = 0;    ///< slot-table size
+  std::uint64_t bytes_used = 0;       ///< bump high-water inside the segment
+  std::uint64_t bytes_capacity = 0;   ///< mapped segment size
+  std::uint64_t freelist_blocks = 0;  ///< recycled blocks awaiting reuse
+  std::uint64_t freelist_bytes = 0;
+  std::vector<SegmentArenaRow> arenas;  ///< name order (map-sorted)
+
+  /// Fraction of the mapped segment consumed by metadata (0 when the
+  /// capacity gauge is absent).
+  double occupancy() const noexcept {
+    return bytes_capacity > 0
+               ? static_cast<double>(bytes_used) /
+                     static_cast<double>(bytes_capacity)
+               : 0.0;
+  }
+};
+
+/// Extract the segment digest from a parsed report document ("counters" /
+/// "gauges" sections). Reports predating the segment layer simply yield
+/// present == false.
+SegmentStats analyze_segment_stats(const JsonValue& report);
+
+/// Deterministic single-line JSON rendering of the segment stats.
+void write_segment_stats_json(std::ostream& os, const SegmentStats& s);
+
+/// Human-readable rendering: a summary block plus the per-arena table.
+void write_segment_stats_table(std::ostream& os, const SegmentStats& s);
+
 }  // namespace tahoe::trace

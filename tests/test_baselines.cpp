@@ -76,10 +76,10 @@ TEST(HwCache, EffectiveDeviceBetweenDramAndNvm) {
   const memsim::Machine base = machine();
   const memsim::Machine mm =
       baselines::memory_mode_machine(base, 256 * kMiB);
-  const memsim::DeviceModel& eff = mm.nvm();
-  EXPECT_GT(eff.read_bw, base.nvm().read_bw);
-  EXPECT_LT(eff.read_bw, base.dram().read_bw);
-  EXPECT_GT(eff.read_lat_s, base.dram().read_lat_s);
+  const memsim::DeviceModel& eff = mm.tier(memsim::kNvm);
+  EXPECT_GT(eff.read_bw, base.tier(memsim::kNvm).read_bw);
+  EXPECT_LT(eff.read_bw, base.tier(memsim::kDram).read_bw);
+  EXPECT_GT(eff.read_lat_s, base.tier(memsim::kDram).read_lat_s);
 }
 
 TEST(HwCache, SmallFootprintApproachesDram) {
@@ -87,16 +87,16 @@ TEST(HwCache, SmallFootprintApproachesDram) {
   const memsim::Machine mm =
       baselines::memory_mode_machine(base, 64 * kMiB, 0.0);
   // Footprint fits the cache: full hit rate, DRAM-like bandwidth.
-  EXPECT_NEAR(mm.nvm().read_bw, base.dram().read_bw,
-              base.dram().read_bw * 0.01);
+  EXPECT_NEAR(mm.tier(memsim::kNvm).read_bw, base.tier(memsim::kDram).read_bw,
+              base.tier(memsim::kDram).read_bw * 0.01);
 }
 
 TEST(HwCache, HugeFootprintApproachesNvm) {
   const memsim::Machine base = machine(64 * kMiB);
   const memsim::Machine mm =
       baselines::memory_mode_machine(base, 64 * kGiB, 0.0);
-  EXPECT_NEAR(mm.nvm().read_bw, base.nvm().read_bw,
-              base.nvm().read_bw * 0.01);
+  EXPECT_NEAR(mm.tier(memsim::kNvm).read_bw, base.tier(memsim::kNvm).read_bw,
+              base.tier(memsim::kNvm).read_bw * 0.01);
 }
 
 TEST(HwCache, ContractChecks) {

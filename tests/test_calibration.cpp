@@ -29,8 +29,8 @@ TEST(Calibration, PeakBandwidthNearHardwarePeak) {
   // like the paper's load/store events), so its "bandwidth" exceeds the
   // device line bandwidth by up to the per-line access multiplicity (8 for
   // sequential doubles). It must stay within that envelope.
-  EXPECT_GT(r.bw_peak_dram, 0.3 * m.dram().read_bw);
-  EXPECT_LT(r.bw_peak_dram, 8.0 * m.dram().read_bw);
+  EXPECT_GT(r.bw_peak_dram, 0.3 * m.tier(memsim::kDram).read_bw);
+  EXPECT_LT(r.bw_peak_dram, 8.0 * m.tier(memsim::kDram).read_bw);
 }
 
 TEST(Calibration, ConstantFactorsAreSaneCorrections) {

@@ -146,12 +146,12 @@ TEST_P(RegisteredWorkload, ObjectsCoverDeclaredFootprints) {
       const hms::DataObject& obj = reg.get(a.object);
       const std::uint64_t unit_bytes =
           (a.chunk == task::kAllChunks) ? obj.bytes
-                                        : obj.chunks.at(a.chunk).bytes;
+                                        : obj.chunk(a.chunk).bytes;
       EXPECT_LE(a.traffic.footprint, obj.bytes) << t.label;
       // Per-chunk accesses should not claim more than ~the chunk itself
       // (whole-object footprints are allowed for gathers).
       if (a.chunk != task::kAllChunks &&
-          a.traffic.footprint > obj.chunks.at(a.chunk).bytes) {
+          a.traffic.footprint > obj.chunk(a.chunk).bytes) {
         EXPECT_LE(a.traffic.footprint, obj.bytes) << t.label;
       }
       (void)unit_bytes;

@@ -206,10 +206,10 @@ std::vector<task::ScheduledCopy> pingpong_schedule(
     const std::string& workload, const core::RuntimeConfig& cfg) {
   auto app = make_app(workload);
   hms::ObjectRegistry reg(
-      {cfg.machine.dram().capacity, cfg.machine.devices[memsim::kNvm].capacity},
+      {cfg.machine.tier(memsim::kDram).capacity, cfg.machine.devices[memsim::kNvm].capacity},
       hms::Backing::Virtual);
   hms::ChunkingPolicy chunking;
-  chunking.dram_capacity = cfg.chunking ? cfg.machine.dram().capacity : 0;
+  chunking.dram_capacity = cfg.chunking ? cfg.machine.tier(memsim::kDram).capacity : 0;
   app->setup(reg, chunking);
 
   task::GraphBuilder gb;
@@ -221,10 +221,10 @@ std::vector<task::ScheduledCopy> pingpong_schedule(
   std::vector<task::ScheduledCopy> schedule;
   for (const hms::ObjectId id : reg.live_objects()) {
     const hms::DataObject& obj = reg.get(id);
-    for (std::size_t c = 0; c < obj.chunks.size(); ++c) {
-      schedule.push_back(task::ScheduledCopy{id, c, obj.chunks[c].bytes,
+    for (std::size_t c = 0; c < obj.num_chunks(); ++c) {
+      schedule.push_back(task::ScheduledCopy{id, c, obj.chunk(c).bytes,
                                              memsim::kDram, 0, 0});
-      schedule.push_back(task::ScheduledCopy{id, c, obj.chunks[c].bytes,
+      schedule.push_back(task::ScheduledCopy{id, c, obj.chunk(c).bytes,
                                              memsim::kNvm, last, last});
     }
   }

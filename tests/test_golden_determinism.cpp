@@ -95,10 +95,10 @@ std::string real_run_json() {
   std::vector<task::ScheduledCopy> schedule;
   for (const hms::ObjectId id : scratch.live_objects()) {
     const hms::DataObject& obj = scratch.get(id);
-    for (std::size_t c = 0; c < obj.chunks.size(); ++c) {
-      schedule.push_back(task::ScheduledCopy{id, c, obj.chunks[c].bytes,
+    for (std::size_t c = 0; c < obj.num_chunks(); ++c) {
+      schedule.push_back(task::ScheduledCopy{id, c, obj.chunk(c).bytes,
                                              memsim::kDram, 0, 0});
-      schedule.push_back(task::ScheduledCopy{id, c, obj.chunks[c].bytes,
+      schedule.push_back(task::ScheduledCopy{id, c, obj.chunk(c).bytes,
                                              memsim::kNvm, 2, 2});
     }
   }

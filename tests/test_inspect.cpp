@@ -7,9 +7,12 @@
 #include <sstream>
 #include <string>
 
+#include "common/units.hpp"
 #include "core/report.hpp"
+#include "hms/registry.hpp"
 #include "trace/analyze.hpp"
 #include "trace/chrome_export.hpp"
+#include "trace/counters.hpp"
 #include "trace/json.hpp"
 #include "trace/trace.hpp"
 
@@ -161,6 +164,94 @@ TEST(Analyze, ReportAndExplainSectionsAreEchoed) {
   EXPECT_TRUE(a.rationale[0].accepted);
   EXPECT_EQ(a.rationale[1].reason, "capacity");
   EXPECT_EQ(a.rationale[1].bytes, 1024u);
+}
+
+TEST(SegmentStats, DigestParsesCountersGaugesAndArenaRows) {
+  core::RunReport report;
+  report.workload = "unit";
+  std::ostringstream os;
+  report.write_json(
+      os,
+      {{"hms.segment.allocs", 12}, {"hms.segment.frees", 5}, {"other", 9}},
+      {{"hms.segment.arena.dram.free_ranges", 1},
+       {"hms.segment.arena.dram.meta_bytes", 96},
+       {"hms.segment.arena.nvm.free_ranges", 2},
+       {"hms.segment.arena.nvm.meta_bytes", 144},
+       {"hms.segment.bytes_capacity", 1024},
+       {"hms.segment.bytes_used", 512},
+       {"hms.segment.freelist_blocks", 3},
+       {"hms.segment.freelist_bytes", 192},
+       {"hms.segment.slot_capacity", 65536},
+       {"hms.segment.slots_live", 7},
+       {"unrelated.gauge", 1}});
+  const SegmentStats s = analyze_segment_stats(parse_json(os.str()));
+
+  EXPECT_TRUE(s.present);
+  EXPECT_EQ(s.allocs, 12u);
+  EXPECT_EQ(s.frees, 5u);
+  EXPECT_EQ(s.slots_live, 7u);
+  EXPECT_EQ(s.slot_capacity, 65536u);
+  EXPECT_EQ(s.bytes_used, 512u);
+  EXPECT_EQ(s.bytes_capacity, 1024u);
+  EXPECT_DOUBLE_EQ(s.occupancy(), 0.5);
+  EXPECT_EQ(s.freelist_blocks, 3u);
+  EXPECT_EQ(s.freelist_bytes, 192u);
+  ASSERT_EQ(s.arenas.size(), 2u);
+  EXPECT_EQ(s.arenas[0].name, "dram");
+  EXPECT_EQ(s.arenas[0].meta_bytes, 96u);
+  EXPECT_EQ(s.arenas[0].free_ranges, 1u);
+  EXPECT_EQ(s.arenas[1].name, "nvm");
+  EXPECT_EQ(s.arenas[1].meta_bytes, 144u);
+
+  // Rendering is deterministic and carries the schema tag.
+  std::ostringstream j1;
+  std::ostringstream j2;
+  write_segment_stats_json(j1, s);
+  write_segment_stats_json(j2, s);
+  EXPECT_EQ(j1.str(), j2.str());
+  EXPECT_NE(j1.str().find("\"tahoe_segment_stats_v1\""), std::string::npos);
+  std::ostringstream table;
+  write_segment_stats_table(table, s);
+  EXPECT_NE(table.str().find("dram"), std::string::npos);
+}
+
+TEST(SegmentStats, ReportsWithoutSegmentMetricsAreAbsent) {
+  core::RunReport report;
+  std::ostringstream os;
+  report.write_json(os, {{"executor.tasks", 4}}, {{"queue.depth", 2}});
+  const SegmentStats s = analyze_segment_stats(parse_json(os.str()));
+  EXPECT_FALSE(s.present);
+  EXPECT_TRUE(s.arenas.empty());
+  std::ostringstream table;
+  write_segment_stats_table(table, s);
+  EXPECT_NE(table.str().find("no hms.segment."), std::string::npos);
+}
+
+TEST(SegmentStats, LiveRegistryGaugesRoundTripThroughAReport) {
+  // End to end: a real registry publishes its gauges, a report snapshots
+  // them, and the digest reconstructs the registry's state.
+  hms::ObjectRegistry reg({256 * kKiB, 4 * kMiB}, hms::Backing::Virtual);
+  reg.create("a", 16 * kKiB, 0, 2);
+  reg.create("b", 8 * kKiB, 1, 1);
+
+  core::RunReport report;
+  std::ostringstream os;
+  report.write_json(os, global_counters().snapshot_counters(),
+                    global_counters().snapshot_gauges());
+  const SegmentStats s = analyze_segment_stats(parse_json(os.str()));
+
+  EXPECT_TRUE(s.present);
+  EXPECT_EQ(s.slots_live, reg.num_objects());
+  EXPECT_EQ(s.slot_capacity, hms::ObjectRegistry::kDefaultSlotCapacity);
+  EXPECT_EQ(s.bytes_capacity, reg.segment().size());
+  EXPECT_EQ(s.bytes_used, reg.segment().used());
+  EXPECT_GE(s.allocs, reg.segment().live_allocations());
+  // Both tier arenas publish their range-list footprint.
+  ASSERT_GE(s.arenas.size(), 2u);
+  for (const SegmentArenaRow& row : s.arenas) {
+    EXPECT_GT(row.meta_bytes, 0u) << row.name;
+    EXPECT_GE(row.free_ranges, 1u) << row.name;
+  }
 }
 
 TEST(Analyze, JsonRenderingIsDeterministic) {

@@ -93,8 +93,8 @@ TEST(Machine, PlatformPresetsAreSane) {
   EXPECT_GT(a.workers, 0u);
   EXPECT_GT(a.llc.llc_bytes, 0u);
   const Machine o = machines::optane_platform(256 * kMiB);
-  EXPECT_EQ(o.nvm().name, "Optane-PM");
-  EXPECT_GT(o.nvm().read_bw, o.nvm().write_bw);  // asymmetric
+  EXPECT_EQ(o.tier(kNvm).name, "Optane-PM");
+  EXPECT_GT(o.tier(kNvm).read_bw, o.tier(kNvm).write_bw);  // asymmetric
 }
 
 }  // namespace

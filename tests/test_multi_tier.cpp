@@ -107,7 +107,7 @@ TEST(CxlPlatform, ShapeAndTierAccessors) {
     EXPECT_LT(m.tier(t).read_bw, m.tier(t - 1).read_bw) << "tier " << t;
   }
   // The deprecated two-tier accessors still resolve to the edge tiers.
-  EXPECT_EQ(&m.dram(), &m.tier(0));
+  EXPECT_EQ(&m.tier(memsim::kDram), &m.tier(0));
 }
 
 TEST(CxlPlatform, PerPairCopyBandwidthFallsBackToEngineDefault) {

@@ -1,0 +1,119 @@
+// OffsetPtr/OffsetSpan: self-relative addressing survives wholesale
+// relocation of the bytes that hold both pointer and pointee.
+#include "common/offset_ptr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace tahoe {
+namespace {
+
+TEST(OffsetPtr, DefaultIsNull) {
+  OffsetPtr<int> p;
+  EXPECT_FALSE(p);
+  EXPECT_EQ(p.get(), nullptr);
+  EXPECT_TRUE(p == nullptr);
+  EXPECT_EQ(p.raw_offset(), 0);
+}
+
+TEST(OffsetPtr, PointsWithinAStruct) {
+  struct Node {
+    int value = 0;
+    OffsetPtr<int> self;
+  } node;
+  node.value = 42;
+  node.self = &node.value;
+  EXPECT_TRUE(node.self);
+  EXPECT_EQ(*node.self, 42);
+  *node.self = 7;
+  EXPECT_EQ(node.value, 7);
+  // The offset is the (negative) distance from the pointer cell back to
+  // the value field.
+  EXPECT_LT(node.self.raw_offset(), 0);
+}
+
+TEST(OffsetPtr, WholeBufferMemcpyRelocates) {
+  // Build a linked pair inside one buffer, memcpy the buffer elsewhere,
+  // and check the copy's pointer resolves to the copy's data — never the
+  // original's.
+  struct Layout {
+    OffsetPtr<int> ptr;
+    int payload = 0;
+  };
+  alignas(Layout) std::byte a[sizeof(Layout)];
+  alignas(Layout) std::byte b[sizeof(Layout)];
+  auto* la = new (a) Layout{};
+  la->payload = 123;
+  la->ptr = &la->payload;
+
+  std::memcpy(b, a, sizeof(Layout));
+  auto* lb = reinterpret_cast<Layout*>(b);
+  EXPECT_EQ(*lb->ptr, 123);
+  *lb->ptr = 456;
+  EXPECT_EQ(lb->payload, 456);
+  EXPECT_EQ(la->payload, 123);  // the original is untouched
+}
+
+TEST(OffsetPtr, CopyConstructionRebinds) {
+  int x = 5;
+  OffsetPtr<int> p(&x);
+  OffsetPtr<int> q(p);  // q lives at a different address than p
+  EXPECT_EQ(q.get(), &x);
+  OffsetPtr<int> r;
+  r = p;
+  EXPECT_EQ(r.get(), &x);
+  r = nullptr;
+  EXPECT_FALSE(r);
+}
+
+TEST(OffsetPtr, IndexingAndArrow) {
+  struct S {
+    int field = 9;
+  };
+  std::vector<S> v(3);
+  v[2].field = 11;
+  OffsetPtr<S> p(v.data());
+  EXPECT_EQ(p->field, 9);
+  EXPECT_EQ(p[2].field, 11);
+}
+
+TEST(OffsetSpan, ResetAndIterate) {
+  int data[4] = {1, 2, 3, 4};
+  OffsetSpan<int> span;
+  EXPECT_TRUE(span.empty());
+  span.reset(data, 4);
+  EXPECT_EQ(span.size(), 4u);
+  int sum = 0;
+  for (int x : span) sum += x;
+  EXPECT_EQ(sum, 10);
+  EXPECT_EQ(span[3], 4);
+  span.clear();
+  EXPECT_TRUE(span.empty());
+  EXPECT_EQ(span.data(), nullptr);
+}
+
+TEST(OffsetSpan, RelocatesWithItsBuffer) {
+  struct Layout {
+    OffsetSpan<int> span;
+    int values[3] = {0, 0, 0};
+  };
+  alignas(Layout) std::byte a[sizeof(Layout)];
+  alignas(Layout) std::byte b[sizeof(Layout)];
+  auto* la = new (a) Layout{};
+  la->values[0] = 10;
+  la->values[1] = 20;
+  la->values[2] = 30;
+  la->span.reset(la->values, 3);
+
+  std::memcpy(b, a, sizeof(Layout));
+  auto* lb = reinterpret_cast<Layout*>(b);
+  ASSERT_EQ(lb->span.size(), 3u);
+  EXPECT_EQ(lb->span.data(), lb->values);
+  EXPECT_NE(lb->span.data(), la->values);
+  EXPECT_EQ(lb->span[1], 20);
+}
+
+}  // namespace
+}  // namespace tahoe

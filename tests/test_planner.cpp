@@ -90,7 +90,7 @@ TEST(GroupWeights, HotUnitHasLargeBenefit) {
   const memsim::Machine m = machine();
   const PhaseProfiles p = profiles();
   const PlanInputs in = inputs(g, m, p);
-  const PerfModel model(constants(m), m.dram(), m.nvm(), m.copy_engine_bw,
+  const PerfModel model(constants(m), m.tier(memsim::kDram), m.tier(memsim::kNvm), m.copy_engine_bw,
                         m.sample_interval);
   const auto weights = group_weights(in, model, 0, {}, true);
   ASSERT_EQ(weights.size(), 2u);
@@ -109,7 +109,7 @@ TEST(GroupWeights, ResidentUnitsHaveNoMovementCost) {
   const memsim::Machine m = machine();
   const PhaseProfiles p = profiles();
   const PlanInputs in = inputs(g, m, p);
-  const PerfModel model(constants(m), m.dram(), m.nvm(), m.copy_engine_bw,
+  const PerfModel model(constants(m), m.tier(memsim::kDram), m.tier(memsim::kNvm), m.copy_engine_bw,
                         m.sample_interval);
   const auto weights =
       group_weights(in, model, 0, {UnitKey{1, 0}}, true);
@@ -126,7 +126,7 @@ TEST(GroupWeights, EvictionAddsExtraCost) {
   const memsim::Machine m = machine();  // DRAM 128 MiB, objects 96 MiB
   const PhaseProfiles p = profiles();
   const PlanInputs in = inputs(g, m, p);
-  const PerfModel model(constants(m), m.dram(), m.nvm(), m.copy_engine_bw,
+  const PerfModel model(constants(m), m.tier(memsim::kDram), m.tier(memsim::kNvm), m.copy_engine_bw,
                         m.sample_interval);
   // Object 2 resident: placing object 1 requires evicting it.
   const auto weights =
@@ -178,7 +178,7 @@ TEST(TahoePolicy, GlobalSearchPicksSingleBestSet) {
     EXPECT_EQ(c.needed_group, 0u);
     if (c.dst == memsim::kDram) dram_bytes += c.bytes;
   }
-  EXPECT_LE(dram_bytes, m.dram().capacity);
+  EXPECT_LE(dram_bytes, m.tier(memsim::kDram).capacity);
   EXPECT_GT(d.predicted_gain, 0.0);
 }
 

@@ -79,8 +79,8 @@ TEST(Registry, ChunkedObjectsMigratePerChunk) {
   EXPECT_EQ(reg.get(id).num_chunks(), 4u);
   EXPECT_TRUE(reg.get(id).chunked());
   ASSERT_TRUE(reg.migrate_chunk(id, 2, memsim::kDram));
-  EXPECT_EQ(reg.get(id).chunks[2].device, memsim::kDram);
-  EXPECT_EQ(reg.get(id).chunks[1].device, memsim::kNvm);
+  EXPECT_EQ(reg.get(id).chunk(2).device, memsim::kDram);
+  EXPECT_EQ(reg.get(id).chunk(1).device, memsim::kNvm);
   EXPECT_EQ(reg.get(id).bytes_on(memsim::kDram), 64 * kKiB);
   EXPECT_EQ(reg.get(id).bytes_on(memsim::kNvm), 192 * kKiB);
   // device() is only defined for unchunked objects.
@@ -94,7 +94,7 @@ TEST(Registry, ChunkSizesCoverObjectExactly) {
   ObjectRegistry reg(caps());
   const ObjectId id = reg.create("c", 1000 * 64, memsim::kNvm, 7);
   std::uint64_t total = 0;
-  for (const Chunk& c : reg.get(id).chunks) total += c.bytes;
+  for (const Chunk& c : reg.get(id).chunks()) total += c.bytes;
   EXPECT_EQ(total, 1000u * 64u);
 }
 
@@ -113,7 +113,7 @@ TEST(Registry, VirtualBackingSkipsPayload) {
   const ObjectId id = reg.create("huge", 8 * kGiB, memsim::kNvm, 8);
   EXPECT_EQ(reg.get(id).bytes, 8 * kGiB);
   ASSERT_TRUE(reg.migrate_chunk(id, 0, memsim::kDram));  // no real memcpy
-  EXPECT_EQ(reg.get(id).chunks[0].device, memsim::kDram);
+  EXPECT_EQ(reg.get(id).chunk(0).device, memsim::kDram);
   EXPECT_EQ(reg.stats().bytes_moved, 1 * kGiB);
 }
 

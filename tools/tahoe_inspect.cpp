@@ -4,6 +4,8 @@
 //                 [--report=run.report.json] [--explain=run.explain.json]
 //                 [--format=table|json] [--out=analysis.json]
 //   tahoe_inspect --timeline=run.telemetry.jsonl [--format=table|json]
+//   tahoe_inspect --report=run.report.json --segment-stats
+//                 [--format=table|json]
 //
 // Loads the Chrome trace (plus optional run report and --explain-out
 // documents), computes the DAG critical path, migration-overlap
@@ -14,6 +16,10 @@
 // --timeline mode instead reads a --telemetry-out JSONL stream and renders
 // per-interval task/byte rates with phase boundaries and SLO-breach
 // markers inline.
+//
+// --segment-stats mode reads only the report and renders the storage
+// layer's hms.segment.* digest: slot-table occupancy, segment metadata
+// bytes, allocator freelist levels and per-arena range-list footprints.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -57,6 +63,10 @@ int main(int argc, char** argv) {
                       "telemetry JSONL stream (--telemetry-out); renders "
                       "interval rates, phases and breach markers instead of "
                       "the trace analysis");
+  flags.define_bool("segment-stats", false,
+                    "render the hms.segment.* storage-layer digest from "
+                    "--report (slot table, metadata bytes, freelists, "
+                    "per-arena range lists) instead of the trace analysis");
   flags.define_string("format", "table", "output format: table or json");
   flags.define_string("out", "", "write output to this file instead of stdout");
 
@@ -69,14 +79,44 @@ int main(int argc, char** argv) {
   const std::string trace_path = flags.get_string("trace");
   const std::string timeline_path = flags.get_string("timeline");
   const std::string format = flags.get_string("format");
-  if (trace_path.empty() && timeline_path.empty()) {
-    std::cerr << "tahoe_inspect: --trace or --timeline is required\n"
+  const bool segment_stats = flags.get_bool("segment-stats");
+  if (trace_path.empty() && timeline_path.empty() && !segment_stats) {
+    std::cerr << "tahoe_inspect: --trace, --timeline or --segment-stats is "
+                 "required\n"
               << flags.usage(argv[0]);
     return 2;
   }
   if (format != "table" && format != "json") {
     std::cerr << "tahoe_inspect: --format must be 'table' or 'json'\n";
     return 2;
+  }
+
+  if (segment_stats) {
+    if (flags.get_string("report").empty()) {
+      std::cerr << "tahoe_inspect: --segment-stats requires --report\n";
+      return 2;
+    }
+    const auto report = load_json(flags.get_string("report"), "report");
+    if (!report) return 1;
+    const tahoe::trace::SegmentStats stats =
+        tahoe::trace::analyze_segment_stats(*report);
+    std::ofstream file_out;
+    std::ostream* os = &std::cout;
+    if (!flags.get_string("out").empty()) {
+      file_out.open(flags.get_string("out"));
+      if (!file_out) {
+        std::cerr << "tahoe_inspect: cannot open output file '"
+                  << flags.get_string("out") << "'\n";
+        return 1;
+      }
+      os = &file_out;
+    }
+    if (format == "json") {
+      tahoe::trace::write_segment_stats_json(*os, stats);
+    } else {
+      tahoe::trace::write_segment_stats_table(*os, stats);
+    }
+    return 0;
   }
 
   std::ofstream timeline_file_out;
